@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment on the simulated substrate, prints the same rows/series the
+paper reports plus a paper-vs-measured comparison, and asserts the *shape*
+(orderings, ratios, crossovers). Wall-clock timing of the harness itself is
+captured through pytest-benchmark with a single round — the interesting
+numbers are the virtual-time results, not the harness runtime.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def bench_once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

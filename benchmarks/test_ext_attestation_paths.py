@@ -1,0 +1,93 @@
+"""Extension bench: attestation verification paths.
+
+Beyond the paper's Fig 8 (which compares end-to-end attestation against
+IAS vs a local PALAEMON), this bench isolates the *verification* step for
+the three mechanisms the codebase supports:
+
+- online IAS verification (network round trip + server-side wait);
+- PALAEMON's local platform registry (pure in-enclave checks);
+- DCAP-style offline verification against cached platform certificates
+  (the paper's announced next step).
+
+Expected shape: both local mechanisms are orders of magnitude faster than
+IAS and within the same order of magnitude as each other; DCAP adds TCB
+pinning for free.
+"""
+
+from repro import calibration
+from repro.benchlib.tables import format_table
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.sim.core import Simulator
+from repro.sim.network import Site
+from repro.tee.dcap import DCAPVerifier, ProvisioningAuthority
+from repro.tee.ias import IntelAttestationService
+from repro.tee.image import build_image
+from repro.tee.platform import SGXPlatform
+
+from benchmarks.conftest import run_once
+
+#: In-enclave cost of one signature verification + registry lookup.
+_LOCAL_VERIFY_SECONDS = 0.4e-3
+
+
+def _measure():
+    sim = Simulator()
+    rng = DeterministicRandom(b"attestation-paths")
+    platform = SGXPlatform(sim, "node", rng.fork(b"platform"))
+    ias = IntelAttestationService(sim, Site.IAS_US, rng.fork(b"ias"))
+    ias.register_platform(platform.quoting_enclave.attestation_public_key,
+                          platform.microcode.revision)
+    authority = ProvisioningAuthority(rng.fork(b"intel"))
+    verifier = DCAPVerifier(authority.root_public_key)
+    verifier.install_certificate(authority.certify_platform(platform))
+
+    enclave = platform.launch_instant(build_image("app"))
+    quote = platform.quoting_enclave.quote(enclave, sha256(b"tls-key"))
+
+    def timed_ias():
+        def main():
+            start = sim.now
+            report = yield sim.process(
+                ias.verify_quote(quote, client_site=Site.SAME_RACK))
+            report.verify(ias.public_key)
+            return sim.now - start
+
+        return sim.run_process(main())
+
+    def timed_local(verify_fn):
+        def main():
+            start = sim.now
+            yield sim.timeout(_LOCAL_VERIFY_SECONDS)
+            verify_fn()
+            return sim.now - start
+
+        return sim.run_process(main())
+
+    return {
+        "IAS (online)": timed_ias(),
+        "PALAEMON registry (local)": timed_local(quote.verify),
+        "DCAP (offline, cached certs)": timed_local(
+            lambda: verifier.verify_quote(quote)),
+    }
+
+
+def test_ext_attestation_paths(benchmark):
+    latencies = run_once(benchmark, _measure)
+
+    print()
+    print(format_table(
+        ["verification path", "latency (ms)"],
+        [[name, latency * 1e3] for name, latency in latencies.items()],
+        title="Extension: quote verification paths"))
+
+    ias_latency = latencies["IAS (online)"]
+    local = latencies["PALAEMON registry (local)"]
+    dcap = latencies["DCAP (offline, cached certs)"]
+
+    # Online IAS is 2+ orders of magnitude slower than either local path.
+    assert ias_latency / local > 100
+    assert ias_latency / dcap > 100
+    # The two local paths are equivalent in cost.
+    assert 0.5 <= dcap / local <= 2.0
+    # And the IAS path is dominated by its server-side verification wait.
+    assert ias_latency >= 0.150

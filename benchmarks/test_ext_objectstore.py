@@ -1,0 +1,79 @@
+"""Extension bench: the PESOS-style replicated storage backend (§V-A).
+
+The paper delegates availability/durability of PALAEMON's storage to a
+trusted object store. This bench quantifies the trade: write amplification
+and quorum cost vs. surviving replica loss, with the shield stacked on top
+so integrity checks still hold end to end.
+"""
+
+from repro.benchlib.tables import format_table
+from repro.crypto.primitives import DeterministicRandom
+from repro.fs.blockstore import BlockStore
+from repro.fs.objectstore import ReplicatedObjectStore
+from repro.fs.shield import ProtectedFileSystem
+
+from benchmarks.conftest import run_once
+
+
+def _workload(store, rng, files=50):
+    """Write/overwrite/read a batch of shielded files; return ops count."""
+    fs = ProtectedFileSystem(store, rng.fork(b"key").bytes(32),
+                             rng.fork(b"fs"))
+    for index in range(files):
+        fs.write(f"/obj/{index}", rng.fork(b"w%d" % index).bytes(256))
+    fs.sync()
+    for index in range(0, files, 2):
+        fs.write(f"/obj/{index}", rng.fork(b"w2%d" % index).bytes(256))
+    tag = fs.sync()
+    for index in range(files):
+        fs.read(f"/obj/{index}")
+    return fs, tag
+
+
+def _measure():
+    results = {}
+    # Single volume: no redundancy.
+    single = BlockStore("single")
+    _workload(single, DeterministicRandom(b"single"))
+    results["single volume"] = {
+        "backend_writes": single.write_count,
+        "survives_node_loss": False,
+    }
+    # Replicated: 3 and 5 nodes.
+    for nodes in (3, 5):
+        replicated = ReplicatedObjectStore(nodes=nodes)
+        rng = DeterministicRandom(b"replicated%d" % nodes)
+        fs, tag = _workload(replicated, rng)
+        # Kill a minority and verify the volume still mounts and verifies.
+        for node_id in range(nodes // 2):
+            replicated.fail_node(node_id)
+        remounted = ProtectedFileSystem(replicated,
+                                        rng.fork(b"key").bytes(32),
+                                        rng.fork(b"remount"))
+        remounted.verify_tag(tag)
+        survives = remounted.read("/obj/1") == fs.read("/obj/1")
+        results[f"replicated x{nodes}"] = {
+            "backend_writes": replicated.write_count,
+            "survives_node_loss": survives,
+        }
+    return results
+
+
+def test_ext_objectstore_durability(benchmark):
+    results = run_once(benchmark, _measure)
+
+    print()
+    print(format_table(
+        ["backend", "logical writes", "survives minority loss"],
+        [[name, row["backend_writes"], str(row["survives_node_loss"])]
+         for name, row in results.items()],
+        title="Extension: storage backend durability"))
+
+    # Replication keeps the logical write count (amplification is inside
+    # the store, one logical write fanning out to N replicas).
+    single_writes = results["single volume"]["backend_writes"]
+    assert results["replicated x3"]["backend_writes"] == single_writes
+    # Only the replicated backends survive losing a minority of nodes.
+    assert not results["single volume"]["survives_node_loss"]
+    assert results["replicated x3"]["survives_node_loss"]
+    assert results["replicated x5"]["survives_node_loss"]

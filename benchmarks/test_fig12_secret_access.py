@@ -1,0 +1,91 @@
+"""Fig 12 — latency to retrieve multiple secrets over HTTPS.
+
+A client retrieves 1/5/50/100 secrets (32 bytes each) from a PALAEMON
+service deployed locally, in the same data centre, or on another continent.
+The reproduced shape: latency is flat in the number of secrets (they ride
+one connection) and dominated by TLS connection establishment, so only the
+remote-continent deployment is visibly slower.
+"""
+
+from repro import calibration
+from repro.benchlib.tables import format_table
+from repro.crypto.primitives import DeterministicRandom
+from repro.sim.core import Simulator
+from repro.sim.network import Network, Site
+from repro.tls.channel import TLSConnection, TLSServer
+
+from benchmarks.conftest import run_once
+
+_SECRET_COUNTS = (1, 5, 50, 100)
+_DEPLOYMENTS = {
+    "Local": Site.SAME_RACK,
+    "Local+Same DC": Site.SAME_DC,
+    "Local+Remote": Site.INTERCONTINENTAL_11000KM,
+}
+
+
+def _retrieve(site, count, seed):
+    """One full retrieval: TLS handshake + one request for `count` keys."""
+    sim = Simulator()
+    rng = DeterministicRandom(seed)
+    net = Network(sim, rng.fork(b"net"), jitter_fraction=0.0)
+    secrets = {f"KEY_{i}": rng.fork(b"secret%d" % i).bytes(32)
+               for i in range(count)}
+
+    def handler(request, _session):
+        names = request["names"]
+        return {name: secrets[name] for name in names}
+
+    endpoint = net.endpoint("palaemon", site)
+    server = TLSServer(net, endpoint, handler)
+    server.start()
+
+    def main():
+        start = sim.now
+        connection = yield sim.process(TLSConnection.connect(
+            net, "client", Site.SAME_RACK, endpoint, rng))
+        server.register_session(connection.session)
+        reply = yield sim.process(connection.request(
+            {"names": list(secrets)}, size_bytes=256 + 48 * count))
+        server.stop()
+        assert reply == secrets  # functional: all keys arrive intact
+        return sim.now - start
+
+    return sim.run_process(main())
+
+
+def _measure_all():
+    results = {}
+    for deployment, site in _DEPLOYMENTS.items():
+        for count in _SECRET_COUNTS:
+            seed = f"{deployment}-{count}".encode()
+            results[(deployment, count)] = _retrieve(site, count, seed)
+    return results
+
+
+def test_fig12_secret_access(benchmark):
+    latencies = run_once(benchmark, _measure_all)
+
+    rows = [[deployment] + [latencies[(deployment, count)] * 1e3
+                            for count in _SECRET_COUNTS]
+            for deployment in _DEPLOYMENTS]
+    print()
+    print(format_table(
+        ["deployment"] + [f"{count} keys (ms)" for count in _SECRET_COUNTS],
+        rows, title="Fig 12: secret retrieval latency over HTTPS"))
+
+    # Flat in the number of secrets: 100 keys cost at most ~20% more than 1.
+    for deployment in _DEPLOYMENTS:
+        one = latencies[(deployment, 1)]
+        hundred = latencies[(deployment, 100)]
+        assert hundred <= one * 1.2, deployment
+
+    # Deployment distance dominates: remote continent >> same DC ~ local.
+    local = latencies[("Local", 1)]
+    same_dc = latencies[("Local+Same DC", 1)]
+    remote = latencies[("Local+Remote", 1)]
+    assert remote > 10 * same_dc
+    assert same_dc < 5 * local
+    # Remote latency is in the hundreds of milliseconds (TLS over ~150 ms
+    # RTT), inside the figure's axis range.
+    assert 0.2 <= remote <= 1.2

@@ -1,0 +1,127 @@
+"""Fig 17b/c — ZooKeeper read and write throughput on a 3-node cluster.
+
+Three variants: native (stunnel between servers), shielded HW, shielded
+EMU. The reproduced shape: shielded *reads* consistently beat native
+(memory-mapped shielded I/O vs stunnel's userspace copies); *writes* run
+consensus over TLS, so native wins there.
+"""
+
+from repro import calibration
+from repro.apps.zookeeper import ZooKeeperCluster
+from repro.benchlib.harness import rate_sweep
+from repro.benchlib.tables import PaperComparison, format_table, paper_vs_measured
+from repro.tee.enclave import ExecutionMode
+
+from benchmarks.conftest import run_once
+
+_MODES = {
+    "Native": ExecutionMode.NATIVE,
+    "Shielded HW": ExecutionMode.HARDWARE,
+    "Shielded EMU": ExecutionMode.EMULATED,
+}
+
+
+def _read_setup(mode):
+    def setup(simulator):
+        cluster = ZooKeeperCluster(simulator, mode=mode)
+        for node in cluster.nodes:
+            node.data["/config"] = b"value"
+
+        def factory(request_id):
+            value = yield simulator.process(cluster.handle_read(
+                "/config", node_id=request_id % len(cluster.nodes)))
+            assert value == b"value"
+
+        return factory
+
+    return setup
+
+
+def _write_setup(mode):
+    def setup(simulator):
+        cluster = ZooKeeperCluster(simulator, mode=mode)
+
+        def factory(request_id):
+            yield simulator.process(cluster.handle_write(
+                f"/key-{request_id % 64}", b"payload"))
+
+        return factory
+
+    return setup
+
+
+def _sweep(setup_builder, rates, duration):
+    return {name: rate_sweep(name, setup_builder(mode), rates,
+                             duration=duration)
+            for name, mode in _MODES.items()}
+
+
+def test_fig17b_zookeeper_read(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: _sweep(_read_setup,
+                       rates=(20_000, 50_000, 75_000, 95_000, 120_000),
+                       duration=0.05))
+
+    rows = []
+    for name, result in results.items():
+        for offered, achieved, latency_ms in result.rows():
+            rows.append([name, offered, achieved, latency_ms])
+    print()
+    print(format_table(
+        ["variant", "offered (req/s)", "achieved (req/s)", "mean lat (ms)"],
+        rows, title="Fig 17b: ZooKeeper reads"))
+
+    knees = {name: result.knee(latency_limit=0.010)
+             for name, result in results.items()}
+    comparisons = [
+        PaperComparison("native read peak",
+                        calibration.ZOOKEEPER_NATIVE_READ_PEAK_RPS,
+                        knees["Native"], unit="req/s", rel_tolerance=0.15),
+        PaperComparison("shield read advantage",
+                        calibration.ZOOKEEPER_SHIELD_READ_ADVANTAGE,
+                        knees["Shielded HW"] / knees["Native"],
+                        rel_tolerance=0.10),
+    ]
+    print(paper_vs_measured(comparisons, title="paper vs measured"))
+    for comparison in comparisons:
+        assert comparison.within_tolerance, comparison.metric
+
+    # The headline: shielded reads consistently better than native.
+    assert knees["Shielded HW"] > knees["Native"]
+    assert knees["Shielded EMU"] > knees["Native"]
+
+
+def test_fig17c_zookeeper_write(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: _sweep(_write_setup,
+                       rates=(10_000, 22_000, 33_000, 40_000, 50_000),
+                       duration=0.05))
+
+    rows = []
+    for name, result in results.items():
+        for offered, achieved, latency_ms in result.rows():
+            rows.append([name, offered, achieved, latency_ms])
+    print()
+    print(format_table(
+        ["variant", "offered (req/s)", "achieved (req/s)", "mean lat (ms)"],
+        rows, title="Fig 17c: ZooKeeper setsingle (writes)"))
+
+    knees = {name: result.knee(latency_limit=0.020)
+             for name, result in results.items()}
+    comparisons = [
+        PaperComparison("native write peak",
+                        calibration.ZOOKEEPER_NATIVE_WRITE_PEAK_RPS,
+                        knees["Native"], unit="req/s", rel_tolerance=0.15),
+        PaperComparison("shield write fraction",
+                        calibration.ZOOKEEPER_SHIELD_WRITE_FRACTION,
+                        knees["Shielded HW"] / knees["Native"],
+                        rel_tolerance=0.15),
+    ]
+    print(paper_vs_measured(comparisons, title="paper vs measured"))
+    for comparison in comparisons:
+        assert comparison.within_tolerance, comparison.metric
+
+    # Writes: native wins (consensus over TLS).
+    assert knees["Native"] > knees["Shielded EMU"] > knees["Shielded HW"]

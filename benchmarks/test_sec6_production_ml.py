@@ -1,0 +1,70 @@
+"""§VI — the production handwriting-recognition use case.
+
+Per-image inference latency: 323 ms native vs 1202 ms under PALAEMON
+(a 3.7x slowdown, still under the 1.5 s acceptability bound). The pipeline
+is run end to end: encrypted model + encrypted customer image in, encrypted
+result out, nothing in plaintext on either untrusted volume.
+"""
+
+from repro import calibration
+from repro.apps.mlservice import InferenceService
+from repro.benchlib.tables import PaperComparison, format_table, paper_vs_measured
+from repro.sim.core import Simulator
+from repro.tee.enclave import ExecutionMode
+
+from benchmarks.conftest import run_once
+
+
+def _run_pipeline(mode, images=10):
+    simulator = Simulator()
+    service = InferenceService(simulator, mode=mode)
+    service.install_model("handwriting-v3", b"weights" * 1000)
+    for index in range(images):
+        service.submit_image(f"img-{index}", b"scan-%d" % index)
+
+    def main():
+        start = simulator.now
+        for index in range(images):
+            yield simulator.process(
+                service.process_image(f"img-{index}", "handwriting-v3"))
+        return (simulator.now - start) / images
+
+    per_image = simulator.run_process(main())
+    return per_image, service
+
+
+def test_sec6_production_ml(benchmark):
+    def experiment():
+        native, _ = _run_pipeline(ExecutionMode.NATIVE)
+        palaemon, service = _run_pipeline(ExecutionMode.HARDWARE)
+        return native, palaemon, service
+
+    native, palaemon, service = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["variant", "per-image latency (ms)", "slowdown"],
+        [["native", native * 1e3, 1.0],
+         ["Palaemon", palaemon * 1e3, palaemon / native]],
+        title="SecVI: production handwriting-inference latency"))
+
+    comparisons = [
+        PaperComparison("native latency", 0.323, native, unit="s",
+                        rel_tolerance=0.05),
+        PaperComparison("Palaemon latency", 1.202, palaemon, unit="s",
+                        rel_tolerance=0.05),
+        PaperComparison("slowdown", 3.7, palaemon / native,
+                        rel_tolerance=0.05),
+    ]
+    print(paper_vs_measured(comparisons, title="paper vs measured"))
+    for comparison in comparisons:
+        assert comparison.within_tolerance, comparison.metric
+
+    # The acceptability bound the customer applied: under 1.5 s.
+    assert palaemon < 1.5
+
+    # Functional + confidentiality checks on the full pipeline.
+    assert service.images_processed == 10
+    assert service.fetch_result("img-0").startswith(b"text:")
+    assert service.company_volume.scan_for(b"weights") == []
+    assert service.customer_volume.scan_for(b"scan-0") == []

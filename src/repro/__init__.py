@@ -1,0 +1,15 @@
+"""repro — a reproduction of PALAEMON (Gregor et al., DSN 2020).
+
+"Trust Management as a Service: Enabling Trusted Execution in the Face of
+Byzantine Stakeholders."
+
+Top-level convenience imports cover the public API a downstream user needs
+to stand up a deployment; see the README's quickstart and the ``examples/``
+directory for end-to-end usage.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+]

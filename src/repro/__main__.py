@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Print the experiment index: every paper table/figure and the benchmark
+    that regenerates it.
+``bench <id> [id ...]``
+    Run the named experiments (e.g. ``fig10``, ``table2``, ``all``) through
+    pytest-benchmark, printing the paper-style tables.
+``examples``
+    List the runnable example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+#: Experiment id -> (benchmark file, description).
+EXPERIMENTS = {
+    "table1": ("test_table1_secret_channels.py",
+               "How popular services obtain secrets"),
+    "table2": ("test_table2_page_throughput.py",
+               "Enclave page-operation throughput"),
+    "fig7": ("test_fig7_startup_times.py",
+             "Startup time vs enclave size"),
+    "fig8": ("test_fig8_attestation_latency.py",
+             "Attestation/configuration latencies"),
+    "fig9": ("test_fig9_startup_scaling.py",
+             "Startup throughput by attestation variant"),
+    "fig10": ("test_fig10_monotonic_counters.py",
+              "Monotonic counter throughput"),
+    "fig11": ("test_fig11_tag_and_injection.py",
+              "Tag latency + secret-injection overhead"),
+    "fig12": ("test_fig12_secret_access.py",
+              "Remote secret retrieval latency"),
+    "fig13": ("test_fig13_approval_service.py",
+              "Approval service throughput + geography"),
+    "fig14": ("test_fig14_barbican.py", "Barbican under two microcodes"),
+    "fig15": ("test_fig15_vault.py", "Vault (EPC paging)"),
+    "fig16": ("test_fig16_memcached.py", "memcached"),
+    "fig17a": ("test_fig17a_nginx.py", "NGINX five variants"),
+    "fig17bc": ("test_fig17bc_zookeeper.py", "ZooKeeper reads/writes"),
+    "fig17d": ("test_fig17d_mariadb.py", "MariaDB buffer-pool sweep"),
+    "sec6": ("test_sec6_production_ml.py", "Production ML use case"),
+    "ablations": ("test_ablations.py", "Design-choice ablations"),
+    "ext-attestation": ("test_ext_attestation_paths.py",
+                        "IAS vs local vs DCAP verification"),
+    "ext-objectstore": ("test_ext_objectstore.py",
+                        "Replicated storage backend durability"),
+}
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def cmd_list() -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    print("experiment  ->  benchmark (description)")
+    for key, (filename, description) in EXPERIMENTS.items():
+        print(f"  {key.ljust(width)}  benchmarks/{filename}  ({description})")
+    return 0
+
+
+def cmd_bench(ids: list) -> int:
+    if "all" in ids:
+        targets = ["benchmarks/"]
+    else:
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment ids: {', '.join(unknown)}",
+                  file=sys.stderr)
+            print("run `python -m repro list` for the index",
+                  file=sys.stderr)
+            return 2
+        targets = [f"benchmarks/{EXPERIMENTS[i][0]}" for i in ids]
+    command = [sys.executable, "-m", "pytest", *targets,
+               "--benchmark-only", "-q", "-s"]
+    return subprocess.call(command, cwd=_repo_root())
+
+
+def cmd_examples() -> int:
+    examples_dir = _repo_root() / "examples"
+    for script in sorted(examples_dir.glob("*.py")):
+        first_doc_line = ""
+        for line in script.read_text().splitlines():
+            if line.startswith('"""'):
+                first_doc_line = line.strip('"').strip()
+                break
+        print(f"  python examples/{script.name}  # {first_doc_line}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PALAEMON reproduction: experiment runner")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="print the experiment index")
+    bench = subparsers.add_parser("bench", help="run experiments")
+    bench.add_argument("ids", nargs="+",
+                       help="experiment ids (see `list`) or `all`")
+    subparsers.add_parser("examples", help="list runnable examples")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "bench":
+        return cmd_bench(args.ids)
+    return cmd_examples()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

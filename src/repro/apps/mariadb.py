@@ -1,0 +1,181 @@
+"""A MariaDB-like store under a TPC-C-shaped load (Fig 17d).
+
+The mechanism behind the figure is a *buffer pool vs EPC* tension:
+
+- a bigger buffer pool raises the cache hit ratio, cutting disk I/O —
+  which is why native throughput grows with pool size;
+- in SGX hardware mode the pool lives in enclave memory, and once it
+  exceeds the EPC every buffer access risks an EPC fault — so beyond
+  ~128 MB, growing the pool *reduces* hardware-mode throughput;
+- EMU mode has the shield overheads but no EPC, so it tracks native shape
+  at a modest discount.
+
+Both effects are modelled mechanistically: the hit ratio comes from the
+pool/working-set ratio, the fault cost from the EPC overcommitment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro import calibration
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.symmetric import SecretBox
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Resource
+from repro.tee.enclave import ExecutionMode
+
+#: TPC-C working set for the paper-scale run.
+_WORKING_SET_MB = 512
+#: Pages touched per transaction (mix of reads and writes).
+_PAGES_PER_TX = 32
+#: Disk I/O per missed page.
+_DISK_READ_SECONDS = 200e-6
+#: CPU per transaction (query processing, logging), native; anchors the
+#: 8-thread native peak near the paper's ~2.7k tx/s at large pools.
+_CPU_PER_TX_SECONDS = 2.9e-3
+#: Shield overhead per transaction in EMU/HW (syscall shield, TLS).
+_SHIELD_PER_TX_SECONDS = 0.25e-3
+#: EPC fault cost per over-committed page touch in HW mode, including the
+#: amplification from MEE crypto and TLB shootdowns under TPC-C locality.
+_EPC_FAULT_SECONDS = calibration.EPC_PAGE_FAULT_SECONDS
+_EPC_FAULT_AMPLIFICATION = 12
+
+
+class MariaDBServer:
+    """A database server with encryption-at-rest and a buffer pool."""
+
+    def __init__(self, simulator: Simulator,
+                 buffer_pool_mb: int,
+                 mode: ExecutionMode = ExecutionMode.NATIVE,
+                 rng: Optional[DeterministicRandom] = None,
+                 threads: int = calibration.CPU_HYPERTHREADS,
+                 epc_mb: int = calibration.EPC_SIZE_DEFAULT
+                 // calibration.MB) -> None:
+        if buffer_pool_mb <= 0:
+            raise ValueError("buffer pool must be positive")
+        self.simulator = simulator
+        self.buffer_pool_mb = buffer_pool_mb
+        self.mode = mode
+        self.epc_mb = int(epc_mb * calibration.EPC_USABLE_FRACTION)
+        self.workers = Resource(simulator, capacity=threads, name="db-workers")
+        self._rng = rng or DeterministicRandom(b"mariadb")
+        # Encryption at rest: rows sealed under the injected key.
+        self._box = SecretBox(self._rng.fork(b"at-rest-key").bytes(32),
+                              self._rng.fork(b"nonces"))
+        self._rows: Dict[str, bytes] = {}
+        self.transactions = 0
+
+    # -- functional row storage (encrypted at rest) ----------------------
+
+    def put_row(self, key: str, value: bytes) -> None:
+        self._rows[key] = self._box.seal(value, associated_data=key.encode())
+
+    def get_row(self, key: str) -> Optional[bytes]:
+        sealed = self._rows.get(key)
+        if sealed is None:
+            return None
+        return self._box.open(sealed, associated_data=key.encode())
+
+    def rows_encrypted_at_rest(self, needle: bytes) -> bool:
+        """No stored row blob contains the plaintext needle."""
+        return all(needle not in sealed for sealed in self._rows.values())
+
+    # -- cost model -----------------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        """Buffer-pool hit ratio from the pool/working-set ratio."""
+        coverage = min(1.0, self.buffer_pool_mb / _WORKING_SET_MB)
+        # Zipf-ish concave benefit: hot pages are cached first.
+        return min(0.995, coverage ** 0.45)
+
+    def epc_overcommit_fraction(self) -> float:
+        """Fraction of buffer-pool accesses that fault in HW mode."""
+        if self.mode is not ExecutionMode.HARDWARE:
+            return 0.0
+        if self.buffer_pool_mb <= self.epc_mb:
+            return 0.0
+        return (self.buffer_pool_mb - self.epc_mb) / self.buffer_pool_mb
+
+    def tx_service_seconds(self) -> float:
+        """End-to-end service time of one transaction in this configuration."""
+        misses = _PAGES_PER_TX * (1.0 - self.hit_ratio())
+        seconds = _CPU_PER_TX_SECONDS + misses * _DISK_READ_SECONDS
+        if self.mode is not ExecutionMode.NATIVE:
+            seconds += _SHIELD_PER_TX_SECONDS
+        if self.mode is ExecutionMode.HARDWARE:
+            hits = _PAGES_PER_TX * self.hit_ratio()
+            # Cached pages that overflow the EPC fault on access; each
+            # faulting page costs an eviction + reload through MEE crypto.
+            seconds += (hits * self.epc_overcommit_fraction()
+                        * _EPC_FAULT_SECONDS * _EPC_FAULT_AMPLIFICATION)
+        return seconds
+
+    def handle_transaction(self) -> Generator[Event, Any, None]:
+        """One TPC-C-ish transaction (cost model only)."""
+        yield self.workers.acquire()
+        try:
+            yield self.simulator.timeout(self.tx_service_seconds())
+            self.transactions += 1
+        finally:
+            self.workers.release()
+
+    def peak_tps(self) -> float:
+        """Saturation throughput for this configuration."""
+        return self.workers.capacity / self.tx_service_seconds()
+
+    # -- functional TPC-C-flavoured transactions ------------------------------
+
+    def setup_warehouse(self, warehouse_id: int, districts: int = 10,
+                        items: int = 100) -> None:
+        """Populate one warehouse: districts with order counters, a stock
+        table, and customer balances — the rows the transaction mix uses."""
+        for district in range(1, districts + 1):
+            self.put_row(f"district:{warehouse_id}:{district}",
+                         b"next_order=1")
+        for item in range(1, items + 1):
+            self.put_row(f"stock:{warehouse_id}:{item}", b"quantity=100")
+        for customer in range(1, districts * 3 + 1):
+            self.put_row(f"customer:{warehouse_id}:{customer}", b"balance=0")
+
+    def new_order(self, warehouse_id: int, district: int,
+                  item_ids: "list",
+                  ) -> Generator[Event, Any, int]:
+        """TPC-C NewOrder: allocate an order id, decrement stock rows."""
+        district_key = f"district:{warehouse_id}:{district}"
+        row = self.get_row(district_key)
+        if row is None:
+            raise KeyError(district_key)
+        order_id = int(row.split(b"=")[1])
+        self.put_row(district_key, b"next_order=%d" % (order_id + 1))
+        for item in item_ids:
+            stock_key = f"stock:{warehouse_id}:{item}"
+            stock = self.get_row(stock_key)
+            if stock is None:
+                raise KeyError(stock_key)
+            quantity = int(stock.split(b"=")[1])
+            if quantity <= 0:
+                raise ValueError(f"item {item} out of stock")
+            self.put_row(stock_key, b"quantity=%d" % (quantity - 1))
+        self.put_row(f"order:{warehouse_id}:{district}:{order_id}",
+                     (",".join(str(i) for i in item_ids)).encode())
+        yield self.simulator.process(self.handle_transaction())
+        return order_id
+
+    def payment(self, warehouse_id: int, customer: int, amount: int,
+                ) -> Generator[Event, Any, int]:
+        """TPC-C Payment: adjust one customer balance."""
+        key = f"customer:{warehouse_id}:{customer}"
+        row = self.get_row(key)
+        if row is None:
+            raise KeyError(key)
+        balance = int(row.split(b"=")[1]) + amount
+        self.put_row(key, b"balance=%d" % balance)
+        yield self.simulator.process(self.handle_transaction())
+        return balance
+
+    def order_status(self, warehouse_id: int, district: int, order_id: int,
+                     ) -> Generator[Event, Any, "Optional[bytes]"]:
+        """TPC-C OrderStatus: read-only lookup of one order."""
+        yield self.simulator.process(self.handle_transaction())
+        return self.get_row(f"order:{warehouse_id}:{district}:{order_id}")

@@ -1,0 +1,21 @@
+"""Benchmark harness utilities: sweeps, curves, and paper-style tables."""
+
+from repro.benchlib.harness import (
+    rate_sweep,
+    concurrency_sweep,
+    ExperimentResult,
+)
+from repro.benchlib.tables import (
+    format_table,
+    paper_vs_measured,
+    PaperComparison,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PaperComparison",
+    "concurrency_sweep",
+    "format_table",
+    "paper_vs_measured",
+    "rate_sweep",
+]

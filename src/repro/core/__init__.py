@@ -1,0 +1,58 @@
+"""PALAEMON: the trust management service itself.
+
+The package mirrors the paper's architecture (§III-§IV):
+
+- :mod:`repro.core.policy` — security policies (List 1), parsed from a
+  YAML subset via :mod:`repro.core.yamlish`.
+- :mod:`repro.core.secrets` — typed secrets: explicit, random, X.509.
+- :mod:`repro.core.board` — policy boards: quorum approval with veto
+  rights over every policy CRUD (§III-C).
+- :mod:`repro.core.store` — the encrypted policy database with the
+  version number used by the rollback protocol.
+- :mod:`repro.core.rollback` — the version/counter protocol of Fig 6,
+  including single-instance enforcement (§IV-C/D).
+- :mod:`repro.core.attestation` — application attestation (§IV-A).
+- :mod:`repro.core.ca` — the PALAEMON CA with its embedded MRE allow-list
+  (§III-B).
+- :mod:`repro.core.service` — the PALAEMON service: CRUD, attest-and-
+  configure, tag management (§IV).
+- :mod:`repro.core.client` — client-side instance attestation and
+  policy management (§IV-B).
+- :mod:`repro.core.update` — secure update flows and policy
+  export/import intersection (§III-E).
+"""
+
+from repro.core.secrets import SecretSpec, SecretValue, SecretKind
+from repro.core.policy import (
+    BoardSpec,
+    PolicyBoardMember,
+    SecurityPolicy,
+    ServiceSpec,
+    VolumeSpec,
+)
+from repro.core.board import AccessRequest, ApprovalService, Verdict
+from repro.core.store import PolicyStore
+from repro.core.rollback import RollbackGuard
+from repro.core.ca import PalaemonCA
+from repro.core.service import AppConfig, PalaemonService
+from repro.core.client import PalaemonClient
+
+__all__ = [
+    "AccessRequest",
+    "AppConfig",
+    "ApprovalService",
+    "BoardSpec",
+    "PalaemonCA",
+    "PalaemonClient",
+    "PalaemonService",
+    "PolicyBoardMember",
+    "PolicyStore",
+    "RollbackGuard",
+    "SecretKind",
+    "SecretSpec",
+    "SecretValue",
+    "SecurityPolicy",
+    "ServiceSpec",
+    "Verdict",
+    "VolumeSpec",
+]

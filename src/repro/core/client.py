@@ -1,0 +1,128 @@
+"""PALAEMON clients: instance attestation plus policy management (§IV-B).
+
+A client never trusts a PALAEMON instance by default — the instance may be
+run by an untrusted provider. Two attestation paths are supported, matching
+Fig 4:
+
+1. **TLS-based** — verify the instance's certificate chains to the PALAEMON
+   CA root (the CA only certifies known-good PALAEMON MRENCLAVEs).
+2. **Explicit** — fetch the instance's IAS report and check that it (a) is
+   signed by IAS and (b) binds the instance's public key to a PALAEMON
+   MRENCLAVE the client itself trusts.
+
+Clients may combine both (§V-A).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.service import PalaemonService
+from repro.crypto.certificates import Certificate, self_signed_certificate
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.crypto.signatures import KeyPair, PublicKey
+from repro.errors import AttestationError, CertificateError, QuoteError
+from repro.tee.ias import IASReport, IntelAttestationService
+
+
+class PalaemonClient:
+    """A client identity: key pair + self-signed certificate."""
+
+    def __init__(self, name: str, rng: DeterministicRandom) -> None:
+        self.name = name
+        self._keys = KeyPair.generate(rng.fork(b"client:" + name.encode()))
+        self.certificate: Certificate = self_signed_certificate(
+            name, self._keys)
+        #: Set after successful attestation of an instance.
+        self.attested_instances: set = set()
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keys.public
+
+    # -- instance attestation -------------------------------------------------
+
+    def attest_instance_via_ca(self, instance: PalaemonService,
+                               ca_root: PublicKey, now: float) -> None:
+        """Path 1: check the instance certificate chains to the CA root."""
+        certificate = instance.certificate
+        if certificate is None:
+            raise AttestationError(
+                f"instance {instance.name!r} has no CA certificate")
+        try:
+            certificate.verify(now=now, trusted_root=ca_root)
+        except CertificateError as exc:
+            raise AttestationError(
+                f"instance certificate rejected: {exc}") from exc
+        if certificate.public_key != instance.public_key:
+            raise AttestationError(
+                "instance certificate does not match its public key")
+        self.attested_instances.add(instance.name)
+
+    def attest_instance_explicitly(self, instance: PalaemonService,
+                                   ias: IntelAttestationService,
+                                   trusted_mrenclaves: FrozenSet[bytes],
+                                   ) -> IASReport:
+        """Path 2: request and verify the instance's IAS report directly.
+
+        Clients use this when they do not trust the current CA — e.g. they
+        only trust PALAEMON versions they reviewed themselves (§III-B).
+        """
+        quote = instance.platform.quoting_enclave.quote(
+            instance.enclave, sha256(instance.public_key.to_bytes()))
+        report = ias.verify_quote_local(quote)
+        try:
+            report.verify(ias.public_key)
+        except QuoteError as exc:
+            raise AttestationError(f"IAS rejected the quote: {exc}") from exc
+        if report.report_data != sha256(instance.public_key.to_bytes()):
+            raise AttestationError(
+                "IAS report does not bind the instance's public key")
+        if report.mrenclave not in trusted_mrenclaves:
+            raise AttestationError(
+                f"instance MRENCLAVE {report.mrenclave.hex()[:16]}... is "
+                f"not a PALAEMON version this client trusts")
+        self.attested_instances.add(instance.name)
+        return report
+
+    def attest_instance_pinned(self, instance: PalaemonService,
+                               pinned_keys: FrozenSet[PublicKey],
+                               ca_root: PublicKey, now: float) -> None:
+        """CA attestation plus public-key pinning (§IV-B).
+
+        Some clients 'might be limited to connecting only to certain
+        PALAEMON instances identified by their public keys' — e.g. a data
+        provider that pre-approved specific deployments. The instance must
+        both carry a valid CA certificate *and* be one of the pinned keys.
+        """
+        if instance.public_key not in pinned_keys:
+            raise AttestationError(
+                f"instance {instance.name!r} is not in this client's "
+                f"pinned set")
+        self.attest_instance_via_ca(instance, ca_root, now)
+
+    def require_attested(self, instance: PalaemonService) -> None:
+        """Guard: clients must attest before sending requests."""
+        if instance.name not in self.attested_instances:
+            raise AttestationError(
+                f"client {self.name!r} has not attested instance "
+                f"{instance.name!r}")
+
+    # -- policy operations (thin, attestation-guarded wrappers) ---------------
+
+    def create_policy(self, instance: PalaemonService, policy) -> None:
+        self.require_attested(instance)
+        instance.create_policy(policy, self.certificate)
+
+    def read_policy(self, instance: PalaemonService, policy_name: str):
+        self.require_attested(instance)
+        return instance.read_policy(policy_name, self.certificate)
+
+    def update_policy(self, instance: PalaemonService, policy) -> None:
+        self.require_attested(instance)
+        instance.update_policy(policy, self.certificate)
+
+    def delete_policy(self, instance: PalaemonService,
+                      policy_name: str) -> None:
+        self.require_attested(instance)
+        instance.delete_policy(policy_name, self.certificate)

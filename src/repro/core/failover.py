@@ -1,0 +1,135 @@
+"""Primary/backup fail-over for PALAEMON (the paper's "ongoing work").
+
+The paper's rollback protection (§IV-D) deliberately trades availability
+for freshness: a crash leaves the database version behind the monotonic
+counter, so the crashed instance can never restart — "for any unscheduled
+outage, we expect that we need to perform a fail-over to another PALAEMON
+service instance anyhow." This module implements that fail-over path while
+preserving the freshness guarantee:
+
+- the primary streams sequenced state updates to a backup instance on a
+  different platform (each with its *own* monotonic counter — counters
+  never move between machines);
+- on primary failure, an operator *promotes* the backup, which replays to
+  the last acknowledged sequence number and starts serving under its own
+  counter;
+- a fenced (crashed or demoted) primary can never serve again: its own
+  counter protocol refuses, and peers drop its epoch.
+
+Freshness across fail-over is bounded by the replication acknowledgement:
+promotion only exposes state the backup had durably applied, and the
+promotion epoch increments so stale primaries are fenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List
+
+from repro.core.service import PalaemonService
+from repro.errors import PolicyError, RollbackDetectedError
+from repro.sim.core import Event, Simulator
+from repro.sim.network import Site, rtt_between
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """One sequenced replication record (a tag update, policy write, ...)."""
+
+    sequence: int
+    table: str
+    key: str
+    value: Any
+
+
+@dataclass
+class ReplicaState:
+    """The backup's view of the replication stream."""
+
+    applied_sequence: int = 0
+    updates: List[StateUpdate] = field(default_factory=list)
+
+
+class FailoverCoordinator:
+    """Manages a primary and one synchronous backup."""
+
+    def __init__(self, primary: PalaemonService, backup: PalaemonService,
+                 primary_site: Site = Site.SAME_DC,
+                 backup_site: Site = Site.SAME_DC) -> None:
+        if primary.platform is backup.platform:
+            raise PolicyError(
+                "backup must run on a different platform (its own counter)")
+        self.primary = primary
+        self.backup = backup
+        self.primary_site = primary_site
+        self.backup_site = backup_site
+        self.epoch = 1
+        self._sequence = 0
+        self._replica = ReplicaState()
+        self.active: PalaemonService = primary
+        self.fenced: List[str] = []
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.primary.simulator
+
+    # -- replication -------------------------------------------------------
+
+    def replicate(self, table: str, key: str, value: Any,
+                  ) -> Generator[Event, Any, int]:
+        """Write through the active instance and synchronously replicate.
+
+        Returns the acknowledged sequence number. Costs one round trip to
+        the backup — the price of the availability the paper defers.
+        """
+        if self.active is not self.primary:
+            raise PolicyError("replicate() is only valid before promotion")
+        self._sequence += 1
+        update = StateUpdate(sequence=self._sequence, table=table, key=key,
+                             value=value)
+        self.primary.store.put(table, key, value)
+        self.primary.store.commit_instant()
+        yield self.simulator.timeout(
+            rtt_between(self.primary_site, self.backup_site))
+        self._replica.updates.append(update)
+        self._replica.applied_sequence = update.sequence
+        return update.sequence
+
+    # -- fail-over -----------------------------------------------------------
+
+    def primary_crashed(self) -> None:
+        """The primary dies uncleanly: its counter protocol fences it."""
+        self.primary.crash()
+        self.fenced.append(self.primary.name)
+
+    def promote_backup(self) -> Generator[Event, Any, PalaemonService]:
+        """Operator-driven promotion: replay, start, bump the epoch."""
+        if self.primary.running:
+            raise PolicyError("cannot promote while the primary is serving")
+        for update in self._replica.updates:
+            self.backup.store.put(update.table, update.key, update.value)
+        self.backup.store.commit_instant()
+        if not self.backup.running:
+            yield self.simulator.process(self.backup.start())
+        self.epoch += 1
+        self.active = self.backup
+        return self.backup
+
+    def verify_primary_fenced(self) -> bool:
+        """The old primary can never serve again (crash-as-attack)."""
+        if self.primary.name not in self.fenced:
+            return False
+
+        def probe() -> Generator[Event, Any, bool]:
+            try:
+                yield self.simulator.process(self.primary.start(),
+                                             name="fenced-restart-probe")
+            except RollbackDetectedError:
+                return True
+            return False
+
+        return self.simulator.run_process(probe(), name="fence-check")
+
+    def replication_lag(self) -> int:
+        """Updates the primary has that the backup has not acknowledged."""
+        return self._sequence - self._replica.applied_sequence

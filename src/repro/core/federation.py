@@ -1,0 +1,144 @@
+"""Decentralized PALAEMON: secret sharing between service instances.
+
+The paper evaluates "the retrieval of keys from remote PALAEMON services
+... when using PALAEMON in a decentralized fashion" (Fig 12) and lists
+"secret sharing between service instances" among the features absent from
+other KMSs (§VII). This module implements that federation layer:
+
+- instances *peer* after mutually attesting (each verifies the other's
+  CA certificate, so only genuine PALAEMON builds join the mesh);
+- a policy's secrets can be fetched from a peer when the local instance
+  does not hold the policy, subject to the same export rules that govern
+  cross-policy imports;
+- all peer traffic is modelled over TLS, so the Fig 12 benchmark's
+  geography sensitivity comes from connection establishment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.service import PalaemonService
+from repro.crypto.signatures import PublicKey
+from repro.errors import AccessDeniedError, AttestationError, PolicyNotFoundError
+from repro.sim.core import Event, Simulator
+from repro.sim.network import Site, rtt_between
+from repro.tls.handshake import handshake_latency
+
+
+@dataclass
+class PeerLink:
+    """An attested, long-lived connection to a remote instance."""
+
+    peer: "FederatedInstance"
+    established: bool = False
+    requests: int = 0
+
+
+class FederatedInstance:
+    """A PALAEMON instance participating in a federation mesh."""
+
+    def __init__(self, service: PalaemonService, site: Site,
+                 ca_root: PublicKey) -> None:
+        self.service = service
+        self.site = site
+        self.ca_root = ca_root
+        self._links: Dict[str, PeerLink] = {}
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.service.simulator
+
+    @property
+    def name(self) -> str:
+        return self.service.name
+
+    # -- peering ---------------------------------------------------------
+
+    def peer_with(self, other: "FederatedInstance",
+                  ) -> Generator[Event, Any, None]:
+        """Mutually attest and establish a persistent TLS link."""
+        for side, counterpart in ((self, other), (other, self)):
+            certificate = counterpart.service.certificate
+            if certificate is None:
+                raise AttestationError(
+                    f"instance {counterpart.name!r} has no CA certificate")
+            certificate.verify(now=self.simulator.now,
+                               trusted_root=side.ca_root)
+            if certificate.public_key != counterpart.service.public_key:
+                raise AttestationError(
+                    f"instance {counterpart.name!r} presented a certificate "
+                    f"for a different key")
+        yield self.simulator.timeout(
+            handshake_latency(self.site, other.site))
+        self._links[other.name] = PeerLink(peer=other, established=True)
+        other._links[self.name] = PeerLink(peer=self, established=True)
+
+    def peers(self) -> List[str]:
+        return sorted(self._links)
+
+    # -- remote secret retrieval ----------------------------------------------
+
+    def fetch_remote_secrets(self, peer_name: str, policy_name: str,
+                             requesting_policy: str,
+                             secret_names: List[str],
+                             ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """Retrieve exported secrets of a policy held by a peer.
+
+        The peer enforces the owning policy's export list against the
+        *requesting* policy's name — federation does not widen access, it
+        only moves it across instances. One request fetches any number of
+        secrets (the Fig 12 flatness).
+        """
+        link = self._links.get(peer_name)
+        if link is None or not link.established:
+            raise AttestationError(f"no attested link to {peer_name!r}")
+        round_trip = rtt_between(self.site, link.peer.site)
+        yield self.simulator.timeout(round_trip)
+        link.requests += 1
+        return link.peer._serve_secret_request(policy_name,
+                                               requesting_policy,
+                                               secret_names)
+
+    def _serve_secret_request(self, policy_name: str, requesting_policy: str,
+                              secret_names: List[str]) -> Dict[str, bytes]:
+        policy = self.service.store.get("policies", policy_name)
+        if policy is None:
+            raise PolicyNotFoundError(
+                f"peer {self.name!r} has no policy {policy_name!r}")
+        secrets = self.service.store.get("secrets", policy_name)
+        result: Dict[str, bytes] = {}
+        for name in secret_names:
+            if not policy.exports_secret_to(name, requesting_policy):
+                raise AccessDeniedError(
+                    f"policy {policy_name!r} does not export {name!r} to "
+                    f"{requesting_policy!r}")
+            result[name] = secrets[name].value
+        return result
+
+
+class Federation:
+    """Convenience wrapper: a fully-meshed set of federated instances."""
+
+    def __init__(self) -> None:
+        self.instances: Dict[str, FederatedInstance] = {}
+
+    def add(self, instance: FederatedInstance) -> None:
+        self.instances[instance.name] = instance
+
+    def connect_all(self) -> Generator[Event, Any, None]:
+        """Peer every pair of instances (sequentially, for determinism)."""
+        names = sorted(self.instances)
+        for i, left in enumerate(names):
+            for right in names[i + 1:]:
+                yield self.instances[left].simulator.process(
+                    self.instances[left].peer_with(self.instances[right]))
+
+    def locate_policy(self, policy_name: str) -> Optional[str]:
+        """Name of an instance holding the policy, if any."""
+        for name in sorted(self.instances):
+            instance = self.instances[name]
+            if instance.service.store.get("policies", policy_name) is not None:
+                return name
+        return None

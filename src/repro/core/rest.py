@@ -1,0 +1,162 @@
+"""A network front-end for the PALAEMON service (its REST/TLS API, Fig 4).
+
+The core :class:`~repro.core.service.PalaemonService` is an in-process
+object; this module puts it behind a :class:`~repro.tls.channel.TLSServer`
+so clients reach it over the simulated network, the way real clients reach
+PALAEMON: every request rides an attested TLS session, policy CRUD carries
+the client certificate, and tag traffic flows over the runtime's original
+attestation connection.
+
+Request shape (a dict, playing the role of a JSON body):
+
+    {"route": "policy.create", ...route-specific fields...}
+
+Routes: ``policy.create`` / ``policy.read`` / ``policy.update`` /
+``policy.delete`` / ``policy.list``, ``app.attest``, ``tag.get`` /
+``tag.update``, ``instance.describe``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from repro.core.client import PalaemonClient
+from repro.core.service import PalaemonService
+from repro.crypto.primitives import DeterministicRandom
+from repro.errors import ReproError
+from repro.sim.core import Event
+from repro.sim.network import Endpoint, Network, Site
+from repro.tls.channel import TLSConnection, TLSServer
+from repro.tls.handshake import TLSSession
+
+
+class PalaemonRestServer:
+    """Exposes a PALAEMON instance over TLS on the simulated network."""
+
+    def __init__(self, service: PalaemonService, network: Network,
+                 site: Site = Site.SAME_RACK) -> None:
+        self.service = service
+        self.network = network
+        self.endpoint: Endpoint = network.endpoint(
+            f"{service.name}-rest", site)
+        self._server = TLSServer(network, self.endpoint, self._handle)
+        self._server.start()
+
+    def register_session(self, session: TLSSession) -> None:
+        self._server.register_session(session)
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _handle(self, request: Dict[str, Any], session: TLSSession) -> Any:
+        route = request.get("route", "")
+        handler = getattr(self, "_route_" + route.replace(".", "_"), None)
+        if handler is None:
+            return {"error": f"unknown route {route!r}"}
+        try:
+            return {"ok": handler(request, session)}
+        except ReproError as exc:
+            return {"error": str(exc), "kind": type(exc).__name__}
+
+    @staticmethod
+    def _client_certificate(request: Dict[str, Any], session: TLSSession):
+        certificate = (request.get("client_certificate")
+                       or session.client_certificate)
+        if certificate is None:
+            raise ReproError("request carries no client certificate")
+        return certificate
+
+    def _route_policy_create(self, request, session):
+        self.service.create_policy(
+            request["policy"], self._client_certificate(request, session))
+        return {"created": request["policy"].name}
+
+    def _route_policy_read(self, request, session):
+        return self.service.read_policy(
+            request["name"], self._client_certificate(request, session))
+
+    def _route_policy_update(self, request, session):
+        self.service.update_policy(
+            request["policy"], self._client_certificate(request, session))
+        return {"updated": request["policy"].name}
+
+    def _route_policy_delete(self, request, session):
+        self.service.delete_policy(
+            request["name"], self._client_certificate(request, session))
+        return {"deleted": request["name"]}
+
+    def _route_policy_list(self, _request, _session):
+        return self.service.list_policies()
+
+    def _route_app_attest(self, request, _session):
+        return self.service.attest_application(request["evidence"])
+
+    def _route_tag_get(self, request, _session):
+        return self.service.get_tag_instant(request["policy"],
+                                            request["service"])
+
+    def _route_tag_update(self, request, _session):
+        self.service.update_tag_instant(
+            request["policy"], request["service"], request["tag"],
+            clean_exit=request.get("clean_exit", False))
+        return {"stored": True}
+
+    def _route_volume_tag_get(self, request, _session):
+        return self.service.get_volume_tag(request["policy"],
+                                           request["volume"])
+
+    def _route_volume_tag_update(self, request, _session):
+        self.service.update_volume_tag(request["policy"], request["volume"],
+                                       request["tag"])
+        return {"stored": True}
+
+    def _route_instance_describe(self, _request, _session):
+        return {
+            "name": self.service.name,
+            "mrenclave": self.service.mrenclave,
+            "public_key": self.service.public_key,
+            "certificate": self.service.certificate,
+        }
+
+
+class PalaemonRestClient:
+    """Client-side: TLS connection + typed request helpers."""
+
+    def __init__(self, connection: TLSConnection) -> None:
+        self.connection = connection
+
+    @classmethod
+    def connect(cls, network: Network, client: PalaemonClient,
+                server: PalaemonRestServer, client_site: Site,
+                rng: DeterministicRandom, trusted_root=None,
+                ) -> Generator[Event, Any, "PalaemonRestClient"]:
+        """Handshake (optionally verifying the instance's CA certificate)."""
+        connection = yield network.simulator.process(TLSConnection.connect(
+            network, f"{client.name}-conn", client_site, server.endpoint,
+            rng, server_certificate=server.service.certificate,
+            trusted_root=trusted_root,
+            client_certificate=client.certificate))
+        server.register_session(connection.session)
+        return cls(connection)
+
+    def call(self, route: str, **fields) -> Generator[Event, Any, Any]:
+        """One request/response; raises on error replies."""
+        payload = {"route": route}
+        payload.update(fields)
+        reply = yield self.connection.network.simulator.process(
+            self.connection.request(payload))
+        if "error" in reply:
+            raise RemoteError(reply.get("kind", "ReproError"),
+                              reply["error"])
+        return reply["ok"]
+
+
+class RemoteError(ReproError):
+    """An error reply from the REST front-end."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message

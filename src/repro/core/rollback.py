@@ -1,0 +1,81 @@
+"""The rollback-protection protocol of Fig 6, plus single-instance
+enforcement (§IV-C/D).
+
+The protocol in full:
+
+1. **Startup** — read the database version ``v`` and the hardware monotonic
+   counter ``c``. If ``v != c`` the database is stale (a rollback) or a
+   previous instance is still running: **exit**.
+2. Increment ``c`` *before accepting any request*, and check the increment
+   yields ``c == v + 1``. A larger value means another instance incremented
+   concurrently — a cloning attack: **exit**. From here the database trails
+   the counter (``v < c``), so a crash leaves the pair mismatched and any
+   restart is refused until an operator intervenes (crash-as-attack).
+3. **Shutdown** — drain requests, set ``v := c``, commit, exit. Counter and
+   version agree again; a clean restart is possible.
+
+The hardware counter is touched exactly twice per instance lifetime, never
+per tag update — the design decision that buys 5 orders of magnitude of
+tag-update throughput (Fig 10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.store import PolicyStore
+from repro.errors import ConcurrentInstanceError, StaleDatabaseError
+from repro.sim.core import Event
+from repro.tee.counters import PlatformCounterService
+
+
+class RollbackGuard:
+    """Binds a :class:`PolicyStore` to a platform monotonic counter."""
+
+    def __init__(self, store: PolicyStore,
+                 counters: PlatformCounterService, counter_id: str) -> None:
+        self.store = store
+        self.counters = counters
+        self.counter_id = counter_id
+        self.active = False
+
+    def ensure_counter(self) -> None:
+        """Create the hardware counter on first installation."""
+        try:
+            self.counters.read(self.counter_id)
+        except Exception:
+            self.counters.create(self.counter_id)
+
+    def startup(self) -> Generator[Event, Any, None]:
+        """Steps 1-2 of the protocol; raises on rollback or cloning."""
+        counter_value = self.counters.read(self.counter_id)
+        version = self.store.version
+        if version != counter_value:
+            raise StaleDatabaseError(
+                f"database version {version} != monotonic counter "
+                f"{counter_value}: rollback or unclean shutdown detected")
+        new_value = yield self.store.simulator.process(
+            self.counters.increment(self.counter_id))
+        if new_value != version + 1:
+            raise ConcurrentInstanceError(
+                f"counter jumped to {new_value}, expected {version + 1}: "
+                f"another instance is running")
+        self.active = True
+
+    def shutdown(self) -> Generator[Event, Any, None]:
+        """Step 3: reconcile the version with the counter and commit."""
+        if not self.active:
+            return
+        counter_value = self.counters.read(self.counter_id)
+        self.store.set_version(counter_value)
+        yield self.store.simulator.process(self.store.commit())
+        self.active = False
+
+    def crash(self) -> None:
+        """Model a crash: the version update never happens.
+
+        After a crash, ``v < c`` permanently, so :meth:`startup` refuses to
+        run — consistency and freshness are preserved at the price of
+        availability (the paper's crash-as-attack stance, §IV-D).
+        """
+        self.active = False

@@ -1,0 +1,523 @@
+"""The PALAEMON service (§IV).
+
+One :class:`PalaemonService` is one PALAEMON instance: an enclave on a
+platform, an encrypted policy database, a rollback guard pairing that
+database with a hardware monotonic counter, an identity key pair in sealed
+storage, and a certificate from the PALAEMON CA.
+
+Behaviour depends *solely on the MRENCLAVE*: the class deliberately exposes
+no configuration knobs affecting the CIF guarantees (§IV-B) — a provider
+can place it anywhere, but cannot weaken it without changing its identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.attestation import (
+    AttestationEvidence,
+    PlatformRegistry,
+    verify_evidence,
+)
+from repro.core.board import AccessRequest, BoardEvaluator
+from repro.core.ca import PalaemonCA
+from repro.core.policy import SecurityPolicy, ServiceSpec
+from repro.core.rollback import RollbackGuard
+from repro.core.secrets import SecretValue, materialize_all
+from repro.core.store import PolicyStore
+from repro.crypto.certificates import Certificate
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.crypto.signatures import KeyPair
+from repro.errors import (
+    AccessDeniedError,
+    AttestationError,
+    PolicyError,
+    PolicyExistsError,
+    PolicyNotFoundError,
+    StrictModeError,
+)
+from repro.fs.blockstore import BlockStore
+from repro.sim.core import Event, Simulator
+from repro.tee.enclave import Enclave
+from repro.tee.image import EnclaveImage, build_image
+from repro.tee.platform import SGXPlatform
+from repro.tee.sealing import SealedBlob
+
+
+def build_palaemon_image(version: str = "1.0") -> EnclaveImage:
+    """The PALAEMON service binary (its MRE identifies correct versions)."""
+    return build_image("palaemon-service", code_size=512 * 1024,
+                       data_size=64 * 1024, heap_bytes=64 * 1024 * 1024,
+                       version=version)
+
+
+@dataclass
+class AppConfig:
+    """What an attested application receives (§IV-A): arguments, environment,
+    file-system keys and tags, and files with injected secrets."""
+
+    command: List[str]
+    environment: Dict[str, str]
+    fs_key: bytes
+    fs_tag: Optional[bytes]
+    injected_files: Dict[str, bytes]
+    secrets: Dict[str, bytes]
+    strict_mode: bool = False
+    #: Encrypted volumes available to the application: volume name ->
+    #: (key, expected tag, mount path). Includes volumes imported from
+    #: other policies via their export lists (List 1, footnote 1).
+    volumes: Dict[str, "VolumeGrant"] = field(default_factory=dict)
+
+
+@dataclass
+class VolumeGrant:
+    """Access to one encrypted volume: its key, expected tag, and path."""
+
+    key: bytes
+    expected_tag: Optional[bytes]
+    path: str
+    owner_policy: str
+
+
+@dataclass
+class _ServiceState:
+    """Per-(policy, service) runtime state PALAEMON tracks."""
+
+    expected_tag: Optional[bytes] = None
+    clean_exit: bool = True
+    executions: int = 0
+
+
+class PalaemonService:
+    """A PALAEMON instance."""
+
+    COUNTER_ID = "palaemon-db"
+    IDENTITY_SEAL_LABEL = "palaemon-identity"
+
+    def __init__(self, platform: SGXPlatform, store: BlockStore,
+                 rng: DeterministicRandom,
+                 board_evaluator: Optional[BoardEvaluator] = None,
+                 version: str = "1.0",
+                 name: str = "palaemon-1") -> None:
+        self.platform = platform
+        self.simulator: Simulator = platform.simulator
+        self.name = name
+        self._rng = rng
+        self.image = build_palaemon_image(version=version)
+        self.enclave: Enclave = platform.launch_instant(self.image)
+        self.board_evaluator = board_evaluator
+        self.platform_registry = PlatformRegistry()
+        self.certificate: Optional[Certificate] = None
+        self.running = False
+        self.draining = False
+
+        # Identity: restored from sealed storage across restarts, created on
+        # first boot (§IV-B).
+        sealed = _read_sealed_identity(store)
+        if sealed is not None:
+            material = platform.sealing.unseal(self.enclave, sealed)
+            self._identity, db_key = _decode_identity(material)
+        else:
+            self._identity = KeyPair.generate(rng.fork(b"identity"))
+            db_key = rng.fork(b"db-key").bytes(32)
+            blob = platform.sealing.seal(
+                self.enclave, self.IDENTITY_SEAL_LABEL,
+                _encode_identity(self._identity, db_key))
+            _write_sealed_identity(store, blob)
+
+        self.store = PolicyStore(self.simulator, store, db_key,
+                                 rng.fork(b"store"))
+        self.rollback_guard = RollbackGuard(self.store, platform.counters,
+                                            f"{name}:{self.COUNTER_ID}")
+        self.rollback_guard.ensure_counter()
+
+    # -- identity & lifecycle ------------------------------------------------
+
+    @property
+    def public_key(self):
+        return self._identity.public
+
+    @property
+    def mrenclave(self) -> bytes:
+        return self.enclave.mrenclave
+
+    def obtain_certificate(self, ca: PalaemonCA) -> Certificate:
+        """Attest to the PALAEMON CA and receive a TLS certificate."""
+        quote = self.platform.quoting_enclave.quote(
+            self.enclave, sha256(self.public_key.to_bytes()))
+        self.certificate = ca.issue_instance_certificate(
+            quote, self.public_key, subject=self.name)
+        return self.certificate
+
+    def start(self) -> Generator[Event, Any, None]:
+        """Run the Fig 6 startup protocol; raises on rollback/cloning."""
+        yield self.simulator.process(self.rollback_guard.startup())
+        self.running = True
+        self.draining = False
+
+    def shutdown(self) -> Generator[Event, Any, None]:
+        """Graceful shutdown: drain, reconcile version, commit, exit."""
+        self.draining = True
+        yield self.simulator.process(self.rollback_guard.shutdown())
+        self.running = False
+
+    def crash(self) -> None:
+        """Abrupt termination: the version update never happens."""
+        self.rollback_guard.crash()
+        self.running = False
+
+    def _check_serving(self) -> None:
+        if not self.running or self.draining:
+            raise PolicyError(f"instance {self.name!r} is not serving")
+
+    # -- board approval ----------------------------------------------------
+
+    def _approve(self, policy: SecurityPolicy, operation: str,
+                 requester: Certificate, change_digest: bytes = b"") -> None:
+        if policy.board is None:
+            return
+        if self.board_evaluator is None:
+            raise PolicyError(
+                f"policy {policy.name!r} has a board but this instance has "
+                f"no board evaluator configured")
+        request = AccessRequest(
+            policy_name=policy.name, operation=operation,
+            requester_fingerprint=requester.fingerprint(),
+            change_digest=change_digest,
+            nonce=self._rng.bytes(16))
+        outcome = self.board_evaluator.evaluate_local(policy.board, request)
+        BoardEvaluator.enforce(policy.board, request, outcome)
+
+    # -- policy CRUD (§III-C, §IV-E) ------------------------------------------
+
+    def create_policy(self, policy: SecurityPolicy,
+                      client_certificate: Certificate) -> None:
+        """Create a policy; the new policy's own board must approve (§III-C).
+
+        The creating client's certificate is stored; all further accesses
+        require the same certificate *and* board approval.
+        """
+        self._check_serving()
+        policy.validate()
+        if (("policies", policy.name)) in self.store:
+            raise PolicyExistsError(f"policy {policy.name!r} already exists")
+        self._approve(policy, "create", client_certificate,
+                      change_digest=_policy_digest(policy))
+        secrets = materialize_all(
+            policy.secrets, self._rng.fork(b"secrets:" + policy.name.encode()),
+            now=self.simulator.now)
+        fs_keys = {service.name: self._rng.fork(
+            b"fs:" + policy.name.encode() + service.name.encode()).bytes(32)
+            for service in policy.services}
+        volume_keys = {volume.name: self._rng.fork(
+            b"vol:" + policy.name.encode() + volume.name.encode()).bytes(32)
+            for volume in policy.volumes}
+        self.store.put("policies", policy.name, policy)
+        self.store.put("owners", policy.name, client_certificate)
+        self.store.put("secrets", policy.name, secrets)
+        self.store.put("fs_keys", policy.name, fs_keys)
+        self.store.put("volume_keys", policy.name, volume_keys)
+        self.store.put("volume_tags", policy.name, {})
+        self.store.put("state", policy.name,
+                       {service.name: _ServiceState()
+                        for service in policy.services})
+        self.store.commit_instant()
+
+    def _authorize(self, policy_name: str, operation: str,
+                   client_certificate: Certificate,
+                   change_digest: bytes = b"") -> SecurityPolicy:
+        policy = self.store.get("policies", policy_name)
+        if policy is None:
+            raise PolicyNotFoundError(f"no policy named {policy_name!r}")
+        owner: Certificate = self.store.get("owners", policy_name)
+        if owner.fingerprint() != client_certificate.fingerprint():
+            raise AccessDeniedError(
+                f"certificate does not own policy {policy_name!r}")
+        self._approve(policy, operation, client_certificate, change_digest)
+        return policy
+
+    def read_policy(self, policy_name: str,
+                    client_certificate: Certificate) -> SecurityPolicy:
+        self._check_serving()
+        return self._authorize(policy_name, "read", client_certificate)
+
+    def update_policy(self, updated: SecurityPolicy,
+                      client_certificate: Certificate) -> None:
+        """Replace a policy; new secrets are materialized, existing kept."""
+        self._check_serving()
+        updated.validate()
+        self._authorize(updated.name, "update", client_certificate,
+                        change_digest=_policy_digest(updated))
+        existing_secrets: Dict[str, SecretValue] = self.store.get(
+            "secrets", updated.name)
+        new_specs = [spec for spec in updated.secrets
+                     if spec.name not in existing_secrets]
+        fresh = materialize_all(
+            new_specs, self._rng.fork(b"secrets:" + updated.name.encode()
+                                      + str(self.store.version).encode()),
+            now=self.simulator.now)
+        existing_secrets.update(fresh)
+        state: Dict[str, _ServiceState] = self.store.get("state", updated.name)
+        fs_keys: Dict[str, bytes] = self.store.get("fs_keys", updated.name)
+        for service in updated.services:
+            state.setdefault(service.name, _ServiceState())
+            fs_keys.setdefault(service.name, self._rng.fork(
+                b"fs:" + updated.name.encode()
+                + service.name.encode()).bytes(32))
+        volume_keys: Dict[str, bytes] = self.store.get(
+            "volume_keys", updated.name, default={})
+        for volume in updated.volumes:
+            volume_keys.setdefault(volume.name, self._rng.fork(
+                b"vol:" + updated.name.encode()
+                + volume.name.encode()).bytes(32))
+        self.store.put("volume_keys", updated.name, volume_keys)
+        if self.store.get("volume_tags", updated.name) is None:
+            self.store.put("volume_tags", updated.name, {})
+        self.store.put("policies", updated.name, updated)
+        self.store.commit_instant()
+
+    def delete_policy(self, policy_name: str,
+                      client_certificate: Certificate) -> None:
+        self._check_serving()
+        self._authorize(policy_name, "delete", client_certificate)
+        for table in ("policies", "owners", "secrets", "fs_keys",
+                      "volume_keys", "volume_tags", "state"):
+            self.store.delete(table, policy_name)
+        self.store.commit_instant()
+
+    def list_policies(self) -> List[str]:
+        return self.store.keys("policies")
+
+    # -- attestation and configuration (§IV-A) -------------------------------
+
+    def attest_application(self, evidence: AttestationEvidence) -> AppConfig:
+        """Verify an application's evidence and hand over its configuration."""
+        self._check_serving()
+        policy = self.store.get("policies", evidence.policy_name)
+        if policy is None:
+            raise AttestationError(
+                f"no policy named {evidence.policy_name!r}")
+        service = verify_evidence(evidence, policy, self.platform_registry)
+        self._check_combination(policy, service, evidence)
+        state = self._service_state(policy.name, service.name)
+        if service.strict_mode and not state.clean_exit:
+            raise StrictModeError(
+                f"service {service.name!r} exited uncleanly; strict mode "
+                f"requires a board-approved policy update to restart")
+        state.clean_exit = False  # session open; set true again on exit
+        state.executions += 1
+        secrets = self._resolve_secrets(policy)
+        secret_bytes = {name: value.value for name, value in secrets.items()}
+        injected = {}
+        from repro.fs.injection import inject_secrets
+        for path, template in service.injection_files.items():
+            injected[path] = inject_secrets(template, secret_bytes)
+        environment = {
+            key: self._substitute(value, secret_bytes)
+            for key, value in service.environment.items()}
+        command = [self._substitute(part, secret_bytes)
+                   for part in service.command]
+        fs_keys = self.store.get("fs_keys", policy.name)
+        self.store.commit_instant()
+        return AppConfig(
+            command=command,
+            environment=environment,
+            fs_key=fs_keys[service.name],
+            fs_tag=state.expected_tag,
+            injected_files=injected,
+            secrets=secret_bytes,
+            strict_mode=service.strict_mode,
+            volumes=self._resolve_volumes(policy),
+        )
+
+    def _resolve_volumes(self, policy: SecurityPolicy,
+                         ) -> Dict[str, "VolumeGrant"]:
+        """Local volumes plus imported ones the exporter permits."""
+        grants: Dict[str, VolumeGrant] = {}
+        local_keys = self.store.get("volume_keys", policy.name) or {}
+        local_tags = self.store.get("volume_tags", policy.name) or {}
+        for volume in policy.volumes:
+            grants[volume.name] = VolumeGrant(
+                key=local_keys[volume.name],
+                expected_tag=local_tags.get(volume.name),
+                path=volume.path,
+                owner_policy=policy.name)
+        for volume_import in policy.volume_imports:
+            source: Optional[SecurityPolicy] = self.store.get(
+                "policies", volume_import.from_policy)
+            if source is None:
+                raise PolicyError(
+                    f"volume import references unknown policy "
+                    f"{volume_import.from_policy!r}")
+            if not source.exports_volume_to(volume_import.volume_name,
+                                            policy.name):
+                raise AccessDeniedError(
+                    f"policy {volume_import.from_policy!r} does not export "
+                    f"volume {volume_import.volume_name!r} to "
+                    f"{policy.name!r}")
+            source_keys = self.store.get("volume_keys",
+                                         volume_import.from_policy)
+            source_tags = self.store.get("volume_tags",
+                                         volume_import.from_policy) or {}
+            spec = source.volume(volume_import.volume_name)
+            grants[volume_import.volume_name] = VolumeGrant(
+                key=source_keys[volume_import.volume_name],
+                expected_tag=source_tags.get(volume_import.volume_name),
+                path=spec.path,
+                owner_policy=volume_import.from_policy)
+        return grants
+
+    # -- per-volume tags (footnote 1: multiple tags per application) --------
+
+    def update_volume_tag(self, policy_name: str, volume_name: str,
+                          tag: bytes) -> None:
+        """Record the expected tag of one encrypted volume."""
+        self._check_serving()
+        policy: Optional[SecurityPolicy] = self.store.get("policies",
+                                                          policy_name)
+        if policy is None:
+            raise PolicyNotFoundError(f"no policy named {policy_name!r}")
+        policy.volume(volume_name)  # raises if undeclared
+        tags = self.store.get("volume_tags", policy_name)
+        tags[volume_name] = tag
+        self.store.commit_instant()
+
+    def get_volume_tag(self, policy_name: str,
+                       volume_name: str) -> Optional[bytes]:
+        self._check_serving()
+        tags = self.store.get("volume_tags", policy_name)
+        if tags is None:
+            raise PolicyNotFoundError(f"no policy named {policy_name!r}")
+        return tags.get(volume_name)
+
+    def _check_combination(self, policy: SecurityPolicy, service: ServiceSpec,
+                           evidence: AttestationEvidence) -> None:
+        """Enforce imported (MRE, tag) combination limits (§III-E)."""
+        if not policy.permitted_combinations:
+            return
+        state = self._service_state(policy.name, service.name)
+        tag = state.expected_tag or b""
+        for mre, permitted_tag in policy.permitted_combinations:
+            if mre == evidence.quote.report.mrenclave and (
+                    permitted_tag == b"" or permitted_tag == tag):
+                return
+        raise AttestationError(
+            "the (MRENCLAVE, tag) combination is not permitted by the "
+            "intersected image/application policies")
+
+    @staticmethod
+    def _substitute(value: str, secrets: Dict[str, bytes]) -> str:
+        from repro.fs.injection import inject_secrets
+        return inject_secrets(value.encode(), secrets).decode(
+            "utf-8", errors="replace")
+
+    def _resolve_secrets(self, policy: SecurityPolicy,
+                         ) -> Dict[str, SecretValue]:
+        """Local secrets plus imports this policy is entitled to (§III-A g)."""
+        resolved = dict(self.store.get("secrets", policy.name))
+        for import_spec in policy.imports:
+            source_policy: Optional[SecurityPolicy] = self.store.get(
+                "policies", import_spec.from_policy)
+            if source_policy is None:
+                raise PolicyError(
+                    f"import references unknown policy "
+                    f"{import_spec.from_policy!r}")
+            if not source_policy.exports_secret_to(import_spec.secret_name,
+                                                   policy.name):
+                raise AccessDeniedError(
+                    f"policy {import_spec.from_policy!r} does not export "
+                    f"{import_spec.secret_name!r} to {policy.name!r}")
+            source_secrets = self.store.get("secrets",
+                                            import_spec.from_policy)
+            secret = source_secrets[import_spec.secret_name]
+            secret.imported_by.append(policy.name)
+            resolved[import_spec.bound_name] = SecretValue(
+                name=import_spec.bound_name, kind=secret.kind,
+                value=secret.value, certificate=secret.certificate)
+        return resolved
+
+    # -- tag management (§III-D) ----------------------------------------------
+
+    def _service_state(self, policy_name: str,
+                       service_name: str) -> _ServiceState:
+        states = self.store.get("state", policy_name)
+        if states is None or service_name not in states:
+            raise PolicyNotFoundError(
+                f"no state for {policy_name!r}/{service_name!r}")
+        return states[service_name]
+
+    def update_tag_instant(self, policy_name: str, service_name: str,
+                           tag: bytes, clean_exit: bool = False) -> None:
+        """Record a new expected tag (functional path, no latency)."""
+        self._check_serving()
+        state = self._service_state(policy_name, service_name)
+        state.expected_tag = tag
+        if clean_exit:
+            state.clean_exit = True
+        self.store.commit_instant()
+
+    def update_tag(self, policy_name: str, service_name: str, tag: bytes,
+                   clean_exit: bool = False) -> Generator[Event, Any, None]:
+        """Record a new expected tag, paying the DB commit (Fig 11 left)."""
+        self._check_serving()
+        state = self._service_state(policy_name, service_name)
+        state.expected_tag = tag
+        if clean_exit:
+            state.clean_exit = True
+        yield self.simulator.process(self.store.commit())
+
+    def get_tag_instant(self, policy_name: str,
+                        service_name: str) -> Optional[bytes]:
+        self._check_serving()
+        return self._service_state(policy_name, service_name).expected_tag
+
+    def get_tag(self, policy_name: str, service_name: str,
+                ) -> Generator[Event, Any, Optional[bytes]]:
+        """Read the expected tag (in-memory; no disk commit)."""
+        from repro import calibration
+
+        self._check_serving()
+        yield self.simulator.timeout(calibration.TAG_READ_LATENCY_SECONDS
+                                     - calibration.TLS_RECORD_CRYPTO_SECONDS)
+        return self._service_state(policy_name, service_name).expected_tag
+
+    def execution_count(self, policy_name: str, service_name: str) -> int:
+        """How many times a service was attested (the ML metering use case)."""
+        return self._service_state(policy_name, service_name).executions
+
+
+def _policy_digest(policy: SecurityPolicy) -> bytes:
+    import pickle
+
+    return sha256(pickle.dumps((policy.name,
+                                [(s.name, s.mrenclaves) for s in
+                                 policy.services],
+                                [s.name for s in policy.secrets])))
+
+
+_IDENTITY_PATH = "/palaemon.identity"
+
+
+def _read_sealed_identity(store: BlockStore) -> Optional[SealedBlob]:
+    if not store.exists(_IDENTITY_PATH):
+        return None
+    return SealedBlob(label=PalaemonService.IDENTITY_SEAL_LABEL,
+                      ciphertext=store.read(_IDENTITY_PATH))
+
+
+def _write_sealed_identity(store: BlockStore, blob: SealedBlob) -> None:
+    store.write(_IDENTITY_PATH, blob.ciphertext)
+
+
+def _encode_identity(identity: KeyPair, db_key: bytes) -> bytes:
+    import pickle
+
+    return pickle.dumps((identity, db_key))
+
+
+def _decode_identity(material: bytes) -> Tuple[KeyPair, bytes]:
+    import pickle
+
+    identity, db_key = pickle.loads(material)
+    return identity, db_key

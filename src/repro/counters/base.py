@@ -1,0 +1,29 @@
+"""The monotonic counter interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator
+
+from repro.sim.core import Event
+
+
+class MonotonicCounter(ABC):
+    """A counter that can only move forward.
+
+    ``increment`` is a simulation process because every implementation has a
+    distinctive time cost — that cost *is* the experiment in Fig 10.
+    """
+
+    @abstractmethod
+    def increment(self) -> Generator[Event, Any, int]:
+        """Increment and return the new value (a simulation process)."""
+
+    @abstractmethod
+    def read(self) -> int:
+        """Return the current value."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Display name used in benchmark tables."""

@@ -1,0 +1,155 @@
+"""Incremental Merkle tree over named leaves.
+
+The shielded file system (``repro.fs.shield``) maintains one leaf per file
+(hash of the file's ciphertext) and publishes the root hash as the file
+system's *tag*. Any modification — including replacing the whole store with
+an older snapshot — changes or stales the tag, which is how both tampering
+and rollback become detectable.
+
+Leaves are keyed by name (file path) rather than index so that files can be
+added and removed; the tree is rebuilt over the sorted leaf set, with domain
+separation between leaf and interior hashes to prevent second-preimage
+splicing attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.primitives import constant_time_equal, sha256
+from repro.errors import IntegrityError
+
+_LEAF_PREFIX = b"\x00leaf"
+_NODE_PREFIX = b"\x01node"
+_EMPTY_ROOT = sha256(b"\x02empty-merkle-tree")
+
+
+def _leaf_hash(name: str, value_hash: bytes) -> bytes:
+    encoded_name = name.encode()
+    return sha256(_LEAF_PREFIX, len(encoded_name).to_bytes(4, "big"),
+                  encoded_name, value_hash)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX, left, right)
+
+
+class MerkleTree:
+    """A Merkle tree over a mutable mapping of name -> content hash."""
+
+    def __init__(self) -> None:
+        self._leaves: Dict[str, bytes] = {}
+        self._root_cache: Optional[bytes] = None
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._leaves
+
+    def names(self) -> List[str]:
+        """Sorted leaf names."""
+        return sorted(self._leaves)
+
+    def set_leaf(self, name: str, content: bytes) -> None:
+        """Insert or update the leaf for ``name`` with a hash of ``content``."""
+        self._leaves[name] = sha256(content)
+        self._root_cache = None
+
+    def set_leaf_hash(self, name: str, content_hash: bytes) -> None:
+        """Insert or update a leaf with a precomputed content hash."""
+        if len(content_hash) != 32:
+            raise ValueError("content hash must be 32 bytes")
+        self._leaves[name] = content_hash
+        self._root_cache = None
+
+    def remove_leaf(self, name: str) -> None:
+        """Remove the leaf for ``name``; missing names are an error."""
+        del self._leaves[name]
+        self._root_cache = None
+
+    def leaf_hash(self, name: str) -> bytes:
+        """The stored content hash for ``name``."""
+        return self._leaves[name]
+
+    def root(self) -> bytes:
+        """The current root hash ("tag"). Empty trees have a fixed root."""
+        if self._root_cache is None:
+            self._root_cache = self._compute_root()
+        return self._root_cache
+
+    def _level(self) -> List[bytes]:
+        return [_leaf_hash(name, self._leaves[name])
+                for name in sorted(self._leaves)]
+
+    def _compute_root(self) -> bytes:
+        level = self._level()
+        if not level:
+            return _EMPTY_ROOT
+        while len(level) > 1:
+            paired = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    paired.append(_node_hash(level[i], level[i + 1]))
+                else:
+                    # Odd node is promoted; safe with domain separation.
+                    paired.append(level[i])
+            level = paired
+        return level[0]
+
+    def prove(self, name: str) -> "MerkleProof":
+        """Produce an inclusion proof for ``name`` against the current root."""
+        if name not in self._leaves:
+            raise KeyError(name)
+        ordered = sorted(self._leaves)
+        index = ordered.index(name)
+        level = self._level()
+        path: List[Tuple[bytes, bool]] = []
+        while len(level) > 1:
+            sibling_index = index ^ 1
+            if sibling_index < len(level):
+                path.append((level[sibling_index], sibling_index < index))
+            paired = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    paired.append(_node_hash(level[i], level[i + 1]))
+                else:
+                    paired.append(level[i])
+            level = paired
+            index //= 2
+        return MerkleProof(name=name, content_hash=self._leaves[name],
+                           path=tuple(path), root=self.root())
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """A copy of the leaf mapping (for persistence)."""
+        return dict(self._leaves)
+
+    @classmethod
+    def from_snapshot(cls, leaves: Iterable[Tuple[str, bytes]]) -> "MerkleTree":
+        tree = cls()
+        for name, content_hash in leaves:
+            tree.set_leaf_hash(name, content_hash)
+        return tree
+
+
+class MerkleProof:
+    """An inclusion proof: leaf -> root path with sibling hashes."""
+
+    def __init__(self, name: str, content_hash: bytes,
+                 path: Tuple[Tuple[bytes, bool], ...], root: bytes) -> None:
+        self.name = name
+        self.content_hash = content_hash
+        self.path = path
+        self.root = root
+
+    def verify(self, expected_root: bytes) -> None:
+        """Raise :class:`IntegrityError` unless the proof matches the root."""
+        current = _leaf_hash(self.name, self.content_hash)
+        for sibling, sibling_is_left in self.path:
+            if sibling_is_left:
+                current = _node_hash(sibling, current)
+            else:
+                current = _node_hash(current, sibling)
+        if not constant_time_equal(current, expected_root):
+            raise IntegrityError(
+                f"Merkle proof for {self.name!r} does not match root")

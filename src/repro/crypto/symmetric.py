@@ -1,0 +1,128 @@
+"""Authenticated symmetric encryption (AEAD).
+
+The cipher is SHA-256 in counter mode as a keystream generator, with an
+encrypt-then-MAC HMAC-SHA-256 tag over nonce, associated data, and
+ciphertext. This gives real confidentiality and integrity inside the
+simulation with zero dependencies; a deployment would use AES-GCM.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.primitives import (
+    DeterministicRandom,
+    constant_time_equal,
+    hkdf,
+    hmac_sha256,
+    sha256,
+)
+from repro.errors import IntegrityError
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+TAG_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """An encrypted, authenticated message."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize to ``nonce || tag || body``."""
+        return self.nonce + self.tag + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ciphertext":
+        """Parse the serialization produced by :meth:`to_bytes`."""
+        if len(data) < NONCE_SIZE + TAG_SIZE:
+            raise IntegrityError("ciphertext too short")
+        nonce = data[:NONCE_SIZE]
+        tag = data[NONCE_SIZE:NONCE_SIZE + TAG_SIZE]
+        body = data[NONCE_SIZE + TAG_SIZE:]
+        return cls(nonce=nonce, body=body, tag=tag)
+
+    def __len__(self) -> int:
+        return len(self.nonce) + len(self.tag) + len(self.body)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes for (key, nonce)."""
+    blocks = bytearray()
+    counter = 0
+    while len(blocks) < length:
+        blocks.extend(sha256(key, nonce, struct.pack(">Q", counter)))
+        counter += 1
+    return bytes(blocks[:length])
+
+
+class AEADCipher:
+    """Authenticated encryption with associated data under a single key.
+
+    Separate encryption and MAC keys are derived from the master key via
+    HKDF so a single 32-byte secret drives the whole construction.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._encryption_key = hkdf(key, b"aead-encryption")
+        self._mac_key = hkdf(key, b"aead-mac")
+
+    def encrypt(self, plaintext: bytes, nonce: bytes,
+                associated_data: bytes = b"") -> Ciphertext:
+        """Encrypt and authenticate ``plaintext``.
+
+        The caller supplies the nonce; reusing a nonce under the same key for
+        different plaintexts breaks confidentiality, exactly as with real
+        stream ciphers, so callers draw nonces from a DRBG.
+        """
+        if len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+        stream = _keystream(self._encryption_key, nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac_sha256(self._mac_key, nonce, associated_data, body)
+        return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+    def decrypt(self, ciphertext: Ciphertext,
+                associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on tampering."""
+        expected = hmac_sha256(self._mac_key, ciphertext.nonce,
+                               associated_data, ciphertext.body)
+        if not constant_time_equal(expected, ciphertext.tag):
+            raise IntegrityError("AEAD tag mismatch")
+        stream = _keystream(self._encryption_key, ciphertext.nonce,
+                            len(ciphertext.body))
+        return bytes(c ^ s for c, s in zip(ciphertext.body, stream))
+
+
+class SecretBox:
+    """Convenience wrapper: AEAD plus automatic nonce management.
+
+    This is the shape most PALAEMON components want — "encrypt this blob" —
+    with nonces drawn from a forked DRBG so two boxes never collide.
+    """
+
+    def __init__(self, key: bytes, rng: DeterministicRandom) -> None:
+        self._cipher = AEADCipher(key)
+        self._rng = rng
+
+    def seal(self, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+        """Encrypt ``plaintext`` into a self-contained byte string."""
+        nonce = self._rng.bytes(NONCE_SIZE)
+        return self._cipher.encrypt(plaintext, nonce, associated_data).to_bytes()
+
+    def open(self, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        """Decrypt a byte string produced by :meth:`seal`."""
+        return self._cipher.decrypt(Ciphertext.from_bytes(sealed),
+                                    associated_data)
+
+
+def generate_key(rng: DeterministicRandom) -> bytes:
+    """Draw a fresh symmetric key from ``rng``."""
+    return rng.bytes(KEY_SIZE)

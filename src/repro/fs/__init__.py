@@ -1,0 +1,23 @@
+"""Shielded file system: transparent encryption, Merkle tags, injection.
+
+This package reproduces SCONE's file-system shield as PALAEMON uses it
+(§III-D): files live encrypted in an *untrusted* block store; inside the
+TEE they are transparently decrypted; a Merkle tree over all file
+ciphertexts yields the file-system *tag*; and rollback of the store to an
+older snapshot is detected by comparing the actual tag with the expected
+tag maintained at PALAEMON.
+"""
+
+from repro.fs.blockstore import BlockStore
+from repro.fs.fspf import FileSystemProtectionFile
+from repro.fs.shield import ProtectedFileSystem, TagListener
+from repro.fs.injection import inject_secrets, find_variables
+
+__all__ = [
+    "BlockStore",
+    "FileSystemProtectionFile",
+    "ProtectedFileSystem",
+    "TagListener",
+    "find_variables",
+    "inject_secrets",
+]

@@ -1,0 +1,73 @@
+"""The untrusted block store.
+
+This is the adversary's playground: a plain path -> bytes mapping standing
+in for the host file system / container volume. The attacker controls it
+completely, so it supports ``snapshot()`` / ``restore()`` — the rollback
+attack is literally restoring an old snapshot — plus arbitrary tampering.
+Nothing in here is trusted; all protection comes from the shield layered on
+top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class BlockStore:
+    """An untrusted persistent byte store with attack affordances."""
+
+    def __init__(self, name: str = "volume") -> None:
+        self.name = name
+        self._files: Dict[str, bytes] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    # -- normal operation --------------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        self._files[path] = data
+        self.write_count += 1
+
+    def read(self, path: str) -> bytes:
+        self.read_count += 1
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def delete(self, path: str) -> None:
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list(self) -> List[str]:
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    # -- attack surface -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Capture the full store state (attacker checkpoint)."""
+        return dict(self._files)
+
+    def restore(self, snapshot: Dict[str, bytes]) -> None:
+        """Roll the store back to an earlier snapshot (rollback attack)."""
+        self._files = dict(snapshot)
+
+    def tamper(self, path: str, data: bytes) -> None:
+        """Overwrite a file without going through the shield."""
+        self._files[path] = data
+
+    def scan_for(self, needle: bytes) -> List[str]:
+        """Paths whose raw content contains ``needle``.
+
+        Confidentiality tests use this: plaintext secrets must never be
+        findable in the untrusted store.
+        """
+        return [path for path, data in self._files.items() if needle in data]

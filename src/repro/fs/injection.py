@@ -1,0 +1,86 @@
+"""Transparent secret injection into configuration files.
+
+Legacy applications read secrets from config files (Table I); PALAEMON
+replaces ``$$PALAEMON$SECRET_NAME$$`` variables inside such files with the
+secret values *inside the TEE* at startup, keeping the injected copy in
+enclave memory (§IV-A). The file on disk never contains the secret; the
+application never knows the replacement happened.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import PolicyError
+
+#: Variable syntax: $$PALAEMON$NAME$$ where NAME is [A-Z0-9_]+.
+_VARIABLE_PATTERN = re.compile(rb"\$\$PALAEMON\$([A-Z0-9_]+)\$\$")
+
+
+def find_variables(content: bytes) -> List[str]:
+    """Names of all PALAEMON variables referenced in ``content``."""
+    return [match.decode() for match in _VARIABLE_PATTERN.findall(content)]
+
+
+def inject_secrets(content: bytes, secrets: Dict[str, bytes]) -> bytes:
+    """Replace every PALAEMON variable in ``content`` with its secret value.
+
+    Raises :class:`PolicyError` if the file references a secret that is not
+    defined — silently leaving the placeholder would hand the application a
+    non-secret string where it expects a key.
+    """
+    missing = [name for name in find_variables(content) if name not in secrets]
+    if missing:
+        raise PolicyError(
+            f"file references undefined secrets: {', '.join(sorted(set(missing)))}")
+
+    def replace(match: "re.Match[bytes]") -> bytes:
+        return secrets[match.group(1).decode()]
+
+    return _VARIABLE_PATTERN.sub(replace, content)
+
+
+#: Injected files larger than this spill to the shielded file system
+#: instead of staying resident in enclave memory (§IV-A: "configuration
+#: files are typically small, so we keep them in TEE memory as long as
+#: they fit").
+DEFAULT_MEMORY_LIMIT = 1 * 1024 * 1024
+
+
+class InjectedFileView:
+    """An in-enclave-memory view of a config file with secrets injected.
+
+    Reads are served from memory (no decryption, no syscall), which is why
+    injected files read *faster* than even plain files in Fig 11 (right).
+    Files exceeding ``memory_limit`` spill to a shielded file system when
+    one is provided — still CIF-protected, just no longer memory-resident.
+    """
+
+    def __init__(self, path: str, template: bytes,
+                 secrets: Dict[str, bytes],
+                 memory_limit: int = DEFAULT_MEMORY_LIMIT,
+                 spill_fs=None) -> None:
+        self.path = path
+        self.template = template
+        self.memory_limit = memory_limit
+        self.reads = 0
+        content = inject_secrets(template, secrets)
+        self.spilled = (len(content) > memory_limit
+                        and spill_fs is not None)
+        self._spill_fs = spill_fs
+        if self.spilled:
+            spill_fs.write(path, content)
+            self.content = b""
+        else:
+            self.content = content
+
+    def read(self) -> bytes:
+        self.reads += 1
+        if self.spilled:
+            return self._spill_fs.read(self.path)
+        return self.content
+
+    @property
+    def variable_count(self) -> int:
+        return len(find_variables(self.template))

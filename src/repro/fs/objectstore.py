@@ -1,0 +1,167 @@
+"""A PESOS-style replicated object store (§V-A).
+
+The paper protects PALAEMON's storage backend against manipulation with
+Merkle trees + counters, and delegates *availability and durability* to "a
+trusted object storage like PESOS". This module provides that backend: an
+object store replicated across N nodes with write-quorum durability and
+read repair, exposing the same interface as :class:`BlockStore` so a
+PALAEMON volume can sit on it transparently.
+
+Integrity still comes from the layers above (everything stored here is
+ciphertext + authenticated metadata); what this adds is surviving node
+loss without losing the database — the availability half the single-volume
+deployment gives up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.fs.blockstore import BlockStore
+
+
+class _StorageNode:
+    """One replica: a versioned object map."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.objects: Dict[str, Tuple[int, bytes]] = {}  # path -> (ver, data)
+        self.alive = True
+
+    def put(self, path: str, version: int, data: bytes) -> bool:
+        if not self.alive:
+            return False
+        current = self.objects.get(path)
+        if current is not None and current[0] >= version:
+            return False  # stale write
+        self.objects[path] = (version, data)
+        return True
+
+    def get(self, path: str) -> Optional[Tuple[int, bytes]]:
+        if not self.alive:
+            return None
+        return self.objects.get(path)
+
+    def remove(self, path: str, version: int) -> bool:
+        if not self.alive:
+            return False
+        self.objects[path] = (version, b"")  # tombstone
+        return True
+
+
+class ReplicatedObjectStore:
+    """A quorum-replicated object store with the BlockStore interface.
+
+    Writes succeed once a majority of replicas acknowledge; reads return
+    the highest-versioned copy among a majority and repair stale replicas
+    in passing. With ``2f+1`` nodes, ``f`` crash failures are tolerated.
+    """
+
+    def __init__(self, nodes: int = 3, name: str = "object-store") -> None:
+        if nodes < 3 or nodes % 2 == 0:
+            raise ValueError("node count must be an odd number >= 3")
+        self.name = name
+        self.nodes: List[_StorageNode] = [_StorageNode(i)
+                                          for i in range(nodes)]
+        self._versions: Dict[str, int] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    @property
+    def quorum(self) -> int:
+        return len(self.nodes) // 2 + 1
+
+    def fail_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = False
+
+    def recover_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = True
+
+    def _next_version(self, path: str) -> int:
+        self._versions[path] = self._versions.get(path, 0) + 1
+        return self._versions[path]
+
+    # -- BlockStore interface ----------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        version = self._next_version(path)
+        acks = sum(1 for node in self.nodes if node.put(path, version, data))
+        self.write_count += 1
+        if acks < self.quorum:
+            raise NetworkError(
+                f"write quorum lost: {acks}/{self.quorum} acks")
+
+    def read(self, path: str) -> bytes:
+        self.read_count += 1
+        copies = [(node, node.get(path)) for node in self.nodes]
+        live = [(node, copy) for node, copy in copies if copy is not None]
+        if len(live) < self.quorum:
+            if not any(node.alive for node in self.nodes):
+                raise NetworkError("no live replicas")
+        best_version, best_data = -1, None
+        for _node, (version, data) in live:
+            if version > best_version:
+                best_version, best_data = version, data
+        if best_data is None or best_data == b"":
+            raise FileNotFoundError(path)
+        # Read repair: push the freshest copy to stale live replicas.
+        for node, copy in copies:
+            if node.alive and (copy is None or copy[0] < best_version):
+                node.put(path, best_version, best_data)
+        return best_data
+
+    def delete(self, path: str) -> None:
+        try:
+            self.read(path)
+        except FileNotFoundError:
+            raise
+        version = self._next_version(path)
+        acks = sum(1 for node in self.nodes if node.remove(path, version))
+        if acks < self.quorum:
+            raise NetworkError(
+                f"delete quorum lost: {acks}/{self.quorum} acks")
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.read(path)
+            return True
+        except (FileNotFoundError, NetworkError):
+            return False
+
+    def list(self) -> List[str]:
+        paths = set()
+        for node in self.nodes:
+            if node.alive:
+                paths.update(path for path, (version, data)
+                             in node.objects.items() if data != b"")
+        return sorted(path for path in paths if self.exists(path))
+
+    def total_bytes(self) -> int:
+        return sum(len(data) for path in self.list()
+                   for data in [self.read(path)])
+
+    # -- attack/fault affordances (BlockStore parity) ------------------------
+
+    def snapshot(self) -> Dict[str, bytes]:
+        return {path: self.read(path) for path in self.list()}
+
+    def restore(self, snapshot: Dict[str, bytes]) -> None:
+        for path in self.list():
+            self.delete(path)
+        for path, data in snapshot.items():
+            self.write(path, data)
+
+    def tamper(self, path: str, data: bytes) -> None:
+        """Corrupt one replica's copy (a Byzantine storage node)."""
+        node = next(node for node in self.nodes if node.alive)
+        version = node.objects.get(path, (0, b""))[0]
+        node.objects[path] = (version, data)
+
+    def scan_for(self, needle: bytes) -> List[str]:
+        hits = set()
+        for node in self.nodes:
+            for path, (_version, data) in node.objects.items():
+                if needle in data:
+                    hits.add(path)
+        return sorted(hits)

@@ -1,0 +1,68 @@
+"""The SCONE runtime entry point: launch, attest, configure, run (§IV-A).
+
+``SconeRuntime.launch`` is the full startup path an application takes in
+the paper: enclave creation, fresh key pair, local quote binding the key,
+attestation against PALAEMON (the policy name travels in an *unprotected*
+environment variable — it is not a secret), configuration delivery, and
+shielded-FS mounting with tag verification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attestation import AttestationEvidence
+from repro.core.service import PalaemonService
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.crypto.signatures import KeyPair
+from repro.errors import QuoteError
+from repro.fs.blockstore import BlockStore
+from repro.runtime.application import RunningApplication
+from repro.tee.enclave import ExecutionMode
+from repro.tee.image import EnclaveImage
+from repro.tee.platform import SGXPlatform
+
+
+class SconeRuntime:
+    """Launches applications under a PALAEMON policy."""
+
+    def __init__(self, platform: SGXPlatform, palaemon: PalaemonService,
+                 rng: DeterministicRandom) -> None:
+        self.platform = platform
+        self.palaemon = palaemon
+        self._rng = rng
+        self.launches = 0
+
+    def launch(self, image: EnclaveImage, policy_name: str,
+               service_name: str, volume: Optional[BlockStore] = None,
+               mode: ExecutionMode = ExecutionMode.HARDWARE,
+               ) -> RunningApplication:
+        """Attest ``image`` under the named policy and hand back the app.
+
+        Every failure mode of §IV-A surfaces as a typed exception before
+        any secret leaves PALAEMON: wrong MRE, wrong platform, missing
+        policy, bad TLS key binding, strict-mode violation, stale volume.
+        """
+        self.launches += 1
+        enclave = self.platform.launch_instant(image, mode=mode)
+        # Fresh per-instance key pair; its hash goes into the report data.
+        tls_keys = KeyPair.generate(
+            self._rng.fork(b"launch:" + str(self.launches).encode()),
+            bits=512)
+        if mode is not ExecutionMode.HARDWARE:
+            raise QuoteError(
+                "only hardware mode can be attested; EMU/native runs have "
+                "no hardware root of trust")
+        quote = self.platform.quoting_enclave.quote(
+            enclave, sha256(tls_keys.public.to_bytes()))
+        evidence = AttestationEvidence(
+            quote=quote, policy_name=policy_name, service_name=service_name,
+            tls_public_key=tls_keys.public)
+        config = self.palaemon.attest_application(evidence)
+        volume = volume if volume is not None else BlockStore(
+            f"{policy_name}-{service_name}-volume")
+        return RunningApplication(
+            enclave=enclave, config=config, volume=volume,
+            palaemon=self.palaemon, policy_name=policy_name,
+            service_name=service_name,
+            rng=self._rng.fork(b"app:" + str(self.launches).encode()))

@@ -1,0 +1,52 @@
+"""Syscall-shield cost model.
+
+Every syscall an enclave makes crosses the enclave boundary: arguments are
+checked and copied out, the host syscall runs, results are copied back in.
+The per-call overhead differs by execution mode and microcode level and is
+the dominant term in the macro-benchmark slowdowns (Figs 14-17). This
+module gives applications a uniform way to account for their syscall mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import calibration
+from repro.tee.enclave import ExecutionMode
+
+
+@dataclass(frozen=True)
+class SyscallProfile:
+    """A request's syscall mix: how many boundary crossings, how many bytes.
+
+    Macro-benchmark applications declare one profile per request type (e.g.
+    a memcached GET does ~2 syscalls moving ~1.2 kB).
+    """
+
+    syscalls: int
+    copied_bytes: int = 0
+    #: Host-side time of the syscalls themselves (mode-independent).
+    host_seconds: float = 0.0
+
+    def cost_seconds(self, mode: ExecutionMode,
+                     microcode: calibration.MicrocodeLevel) -> float:
+        """Total time for this profile in the given mode."""
+        cost = self.host_seconds
+        if mode is ExecutionMode.NATIVE:
+            return cost
+        cost += self.syscalls * calibration.SYSCALL_SHIELD_SECONDS
+        cost += self.copied_bytes * 0.2e-9
+        if mode is ExecutionMode.EMULATED:
+            cost += self.syscalls * calibration.EMU_TRANSITION_SECONDS
+        else:
+            cost += self.syscalls * microcode.enclave_exit_seconds
+        return cost
+
+
+def mode_slowdown(profile: SyscallProfile, cpu_seconds: float,
+                  mode: ExecutionMode,
+                  microcode: calibration.MicrocodeLevel) -> float:
+    """The mode's slowdown factor for a request with the given CPU work."""
+    native = cpu_seconds + profile.host_seconds
+    shielded = cpu_seconds + profile.cost_seconds(mode, microcode)
+    return shielded / native if native > 0 else 1.0

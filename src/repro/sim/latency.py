@@ -1,0 +1,68 @@
+"""Latency distributions for service times and network jitter."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.primitives import DeterministicRandom
+
+
+class LatencyModel(ABC):
+    """A distribution of non-negative durations."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Draw one duration in seconds."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """The distribution mean in seconds."""
+
+
+class ConstantLatency(LatencyModel):
+    """Always the same duration."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self.seconds = seconds
+
+    def sample(self) -> float:
+        return self.seconds
+
+    def mean(self) -> float:
+        return self.seconds
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed duration (memoryless service times)."""
+
+    def __init__(self, mean_seconds: float, rng: DeterministicRandom) -> None:
+        if mean_seconds <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = mean_seconds
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+
+class UniformJitterLatency(LatencyModel):
+    """A base duration plus uniform jitter in [0, jitter]."""
+
+    def __init__(self, base_seconds: float, jitter_seconds: float,
+                 rng: DeterministicRandom) -> None:
+        if base_seconds < 0 or jitter_seconds < 0:
+            raise ValueError("latency components must be non-negative")
+        self._base = base_seconds
+        self._jitter = jitter_seconds
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._base + self._rng.random() * self._jitter
+
+    def mean(self) -> float:
+        return self._base + self._jitter / 2.0

@@ -1,0 +1,184 @@
+"""Simulated network: sites, RTT matrix, and message endpoints.
+
+Sites correspond to the deployments in the paper's evaluation: the same
+rack, the same data centre, and progressively distant geographies up to
+intercontinental (Fig 12, Fig 13 right). One-way delay between two sites is
+half the calibrated RTT plus optional jitter; bandwidth is modelled as a
+serialization delay per byte so large transfers (e.g. NGINX's 67 kB pages)
+cost more than small control messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro import calibration
+from repro.crypto.primitives import DeterministicRandom
+from repro.errors import NetworkError
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Store
+
+
+class Site(enum.Enum):
+    """Deployment locations used across the evaluation."""
+
+    SAME_RACK = "same-rack"
+    SAME_DC = "same-dc"
+    REGIONAL_300KM = "regional-300km"
+    CONTINENTAL_7000KM = "continental-7000km"
+    INTERCONTINENTAL_11000KM = "intercontinental-11000km"
+    IAS_US = "ias-us"
+    IAS_EU = "ias-eu"
+
+
+#: RTT between the local rack and each site class, from calibration.
+_RTT_FROM_RACK: Dict[Site, float] = {
+    Site.SAME_RACK: calibration.RTT_SAME_RACK,
+    Site.SAME_DC: calibration.RTT_SAME_DC,
+    Site.REGIONAL_300KM: calibration.RTT_300_KM,
+    Site.CONTINENTAL_7000KM: calibration.RTT_7000_KM,
+    Site.INTERCONTINENTAL_11000KM: calibration.RTT_11000_KM,
+    # IAS placements for Fig 8: measured from a US client IAS is close;
+    # from the EU it is a transatlantic hop.
+    Site.IAS_US: 30.0e-3,
+    Site.IAS_EU: calibration.RTT_11000_KM,
+}
+
+
+def rtt_between(a: Site, b: Site) -> float:
+    """Round-trip time between two sites.
+
+    The topology is hub-like (everything is measured relative to the rack
+    hosting the cluster), matching how the paper reports distances.
+    """
+    if a == b:
+        return calibration.RTT_SAME_RACK
+    if a == Site.SAME_RACK:
+        return _RTT_FROM_RACK[b]
+    if b == Site.SAME_RACK:
+        return _RTT_FROM_RACK[a]
+    # Triangle through the rack, capped at the intercontinental RTT.
+    via = _RTT_FROM_RACK[a] + _RTT_FROM_RACK[b]
+    return min(via, calibration.RTT_11000_KM * 1.5)
+
+
+@dataclass
+class Message:
+    """A datagram delivered to an endpoint's mailbox."""
+
+    sender: "Endpoint"
+    payload: Any
+    size_bytes: int = 256
+    reply_to: Optional["Endpoint"] = None
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+
+class Endpoint:
+    """A network-attached mailbox at a site.
+
+    ``receive()`` yields the next inbound :class:`Message`; ``send()``
+    schedules delivery after the one-way latency plus serialization delay.
+    """
+
+    def __init__(self, network: "Network", name: str, site: Site) -> None:
+        self.network = network
+        self.name = name
+        self.site = site
+        self.inbox = Store(network.simulator, name=f"{name}-inbox")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.network.simulator
+
+    def send(self, destination: "Endpoint", payload: Any,
+             size_bytes: int = 256,
+             reply_to: Optional["Endpoint"] = None) -> None:
+        """Send ``payload``; delivery is asynchronous."""
+        if self._closed:
+            raise NetworkError(f"endpoint {self.name!r} is closed")
+        message = Message(sender=self, payload=payload, size_bytes=size_bytes,
+                          reply_to=reply_to or self)
+        self.bytes_sent += size_bytes
+        self.network.deliver(self, destination, message)
+
+    def receive(self) -> Event:
+        """Event firing with the next inbound message."""
+        return self.inbox.get()
+
+    def close(self) -> None:
+        self._closed = True
+        self.inbox.close()
+
+
+class Network:
+    """The message fabric: computes delays and delivers to mailboxes.
+
+    ``bandwidth_bps`` models link serialization; ``jitter_fraction`` adds
+    multiplicative uniform jitter to propagation so that latency percentiles
+    are not degenerate.
+    """
+
+    def __init__(self, simulator: Simulator,
+                 rng: Optional[DeterministicRandom] = None,
+                 bandwidth_bps: float = 20e9 / 8,
+                 jitter_fraction: float = 0.05) -> None:
+        self.simulator = simulator
+        self._rng = rng or DeterministicRandom(b"network")
+        self.bandwidth_bytes_per_second = bandwidth_bps
+        self.jitter_fraction = jitter_fraction
+        self._endpoints: Dict[str, Endpoint] = {}
+        self.messages_delivered = 0
+        #: Wire log of (time, src, dst, payload) for plaintext-leak scans.
+        self.wire_log: list = []
+        self.wire_log_enabled = False
+        self._partitions: set = set()
+
+    def endpoint(self, name: str, site: Site = Site.SAME_RACK) -> Endpoint:
+        """Create (or fetch) the named endpoint at ``site``."""
+        if name in self._endpoints:
+            existing = self._endpoints[name]
+            if existing.site != site:
+                raise NetworkError(
+                    f"endpoint {name!r} already exists at {existing.site}")
+            return existing
+        endpoint = Endpoint(self, name, site)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def partition(self, a: str, b: str) -> None:
+        """Drop all traffic between endpoints ``a`` and ``b``."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def one_way_delay(self, source: Site, destination: Site,
+                      size_bytes: int) -> float:
+        propagation = rtt_between(source, destination) / 2.0
+        jitter = propagation * self.jitter_fraction * self._rng.random()
+        serialization = size_bytes / self.bandwidth_bytes_per_second
+        return propagation + jitter + serialization
+
+    def deliver(self, source: Endpoint, destination: Endpoint,
+                message: Message) -> None:
+        if frozenset((source.name, destination.name)) in self._partitions:
+            return  # dropped silently, like a real partition
+        delay = self.one_way_delay(source.site, destination.site,
+                                   message.size_bytes)
+        if self.wire_log_enabled:
+            self.wire_log.append((self.simulator.now, source.name,
+                                  destination.name, message.payload))
+
+        def arrival(_event: Event) -> None:
+            if not destination._closed:
+                destination.inbox.put(message)
+                destination.bytes_received += message.size_bytes
+                self.messages_delivered += 1
+
+        timer = self.simulator.timeout(delay)
+        timer.callbacks.append(arrival)

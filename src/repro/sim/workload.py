@@ -1,0 +1,138 @@
+"""Workload generators: open-loop and closed-loop clients.
+
+Open-loop generators issue requests at a fixed offered rate regardless of
+completions — that is what wrk2 and memtier do in the paper's macro
+benchmarks, and what makes latency spike once the offered rate passes the
+service capacity. Closed-loop generators keep a fixed number of outstanding
+requests (like the parallel-start experiment of Fig 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.crypto.primitives import DeterministicRandom
+from repro.sim.core import Event, Simulator
+from repro.sim.metrics import (
+    LatencyRecorder,
+    ThroughputLatencyPoint,
+    ThroughputMeter,
+)
+
+#: A request handler: a zero-argument callable returning a process generator.
+RequestFactory = Callable[[int], Generator[Event, Any, Any]]
+
+
+class OpenLoopGenerator:
+    """Issues requests at ``rate`` per second with exponential inter-arrivals.
+
+    Each request runs ``factory(i)`` as an independent process; its latency
+    is the virtual time from issue to completion.
+    """
+
+    def __init__(self, simulator: Simulator, rate: float,
+                 factory: RequestFactory, rng: DeterministicRandom,
+                 duration: float,
+                 warmup: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.simulator = simulator
+        self.rate = rate
+        self.factory = factory
+        self.rng = rng
+        self.duration = duration
+        self.warmup = warmup
+        self.latencies = LatencyRecorder("open-loop")
+        self.meter = ThroughputMeter("open-loop")
+        self.issued = 0
+
+    def run(self) -> Generator[Event, Any, None]:
+        """The generator process driving the load; start via simulator."""
+        end_time = self.simulator.now + self.duration
+        pending = []
+        while self.simulator.now < end_time:
+            yield self.simulator.timeout(self.rng.expovariate(self.rate))
+            if self.simulator.now >= end_time:
+                break
+            request_id = self.issued
+            self.issued += 1
+            pending.append(self.simulator.process(
+                self._timed_request(request_id),
+                name=f"request-{request_id}"))
+        # Wait for stragglers so latency percentiles include queued requests.
+        if pending:
+            yield self.simulator.all_of(pending)
+
+    def _timed_request(self, request_id: int) -> Generator[Event, Any, None]:
+        started = self.simulator.now
+        yield self.simulator.process(self.factory(request_id),
+                                     name=f"handler-{request_id}")
+        finished = self.simulator.now
+        if started - 0.0 >= self.warmup:
+            self.latencies.record(finished - started)
+            self.meter.record(finished)
+
+    def result(self) -> ThroughputLatencyPoint:
+        return ThroughputLatencyPoint(
+            offered_rate=self.rate,
+            achieved_rate=self.meter.rate(),
+            latency=self.latencies.summary(),
+        )
+
+
+class ClosedLoopGenerator:
+    """Keeps ``concurrency`` requests outstanding for ``duration`` seconds."""
+
+    def __init__(self, simulator: Simulator, concurrency: int,
+                 factory: RequestFactory, duration: float) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        self.simulator = simulator
+        self.concurrency = concurrency
+        self.factory = factory
+        self.duration = duration
+        self.latencies = LatencyRecorder("closed-loop")
+        self.meter = ThroughputMeter("closed-loop")
+        self.issued = 0
+
+    def run(self) -> Generator[Event, Any, None]:
+        end_time = self.simulator.now + self.duration
+        workers = [self.simulator.process(self._worker(end_time),
+                                          name=f"worker-{i}")
+                   for i in range(self.concurrency)]
+        yield self.simulator.all_of(workers)
+
+    def _worker(self, end_time: float) -> Generator[Event, Any, None]:
+        while self.simulator.now < end_time:
+            request_id = self.issued
+            self.issued += 1
+            started = self.simulator.now
+            yield self.simulator.process(self.factory(request_id),
+                                         name=f"handler-{request_id}")
+            self.latencies.record(self.simulator.now - started)
+            self.meter.record(self.simulator.now)
+
+    def result(self) -> ThroughputLatencyPoint:
+        return ThroughputLatencyPoint(
+            offered_rate=float(self.concurrency),
+            achieved_rate=self.meter.rate(),
+            latency=self.latencies.summary(),
+        )
+
+
+def run_open_loop(simulator: Simulator, rate: float, factory: RequestFactory,
+                  rng: DeterministicRandom, duration: float,
+                  ) -> ThroughputLatencyPoint:
+    """Convenience wrapper: run an open-loop experiment to completion."""
+    generator = OpenLoopGenerator(simulator, rate, factory, rng, duration)
+    simulator.run_process(generator.run(), name="open-loop-driver")
+    return generator.result()
+
+
+def run_closed_loop(simulator: Simulator, concurrency: int,
+                    factory: RequestFactory, duration: float,
+                    ) -> ThroughputLatencyPoint:
+    """Convenience wrapper: run a closed-loop experiment to completion."""
+    generator = ClosedLoopGenerator(simulator, concurrency, factory, duration)
+    simulator.run_process(generator.run(), name="closed-loop-driver")
+    return generator.result()

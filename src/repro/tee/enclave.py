@@ -1,0 +1,108 @@
+"""Running enclaves: execution modes and transition costs.
+
+An :class:`Enclave` is an image loaded on a platform. Code "inside" the
+enclave charges enclave-transition costs per OCALL (syscall), EPC paging
+penalties when its footprint exceeds the cache, and — depending on the
+platform's microcode — the L1-flush penalty on every exit that explains the
+post-Foreshadow throughput drop in Fig 14.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Generator, Optional
+
+from repro import calibration
+from repro.errors import EnclaveError
+from repro.sim.core import Event, Simulator
+from repro.tee.image import EnclaveImage
+
+
+class ExecutionMode(enum.Enum):
+    """How an application runs (the paper's evaluation variants)."""
+
+    #: No SGX, no shields: plain process.
+    NATIVE = "native"
+    #: SCONE emulation mode: shields active, no SGX hardware costs.
+    EMULATED = "emu"
+    #: Real SGX hardware: transitions, paging, microcode penalties.
+    HARDWARE = "hw"
+
+
+_enclave_ids = itertools.count(1)
+
+
+class Enclave:
+    """A loaded enclave instance on a platform."""
+
+    def __init__(self, platform: "Any", image: EnclaveImage,
+                 mode: ExecutionMode = ExecutionMode.HARDWARE) -> None:
+        self.platform = platform
+        self.image = image
+        self.mode = mode
+        self.enclave_id = next(_enclave_ids)
+        self.mrenclave = image.mrenclave()
+        self.destroyed = False
+        self.ocall_count = 0
+        #: Enclave-private memory (never visible to the untrusted side).
+        self.private_memory: dict = {}
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.platform.simulator
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise EnclaveError(
+                f"enclave {self.image.name!r} has been destroyed")
+
+    def transition_cost(self) -> float:
+        """Cost of one enclave exit+re-entry in the current mode."""
+        if self.mode is ExecutionMode.NATIVE:
+            return 0.0
+        if self.mode is ExecutionMode.EMULATED:
+            return calibration.EMU_TRANSITION_SECONDS
+        return self.platform.microcode.enclave_exit_seconds
+
+    def ocall(self, syscall_seconds: float = 0.0,
+              copied_bytes: int = 0) -> Generator[Event, Any, None]:
+        """Perform one shielded syscall (OCALL).
+
+        Charges the enclave transition, the syscall-shield argument
+        copy/check, and the host syscall time itself.
+        """
+        self._check_alive()
+        self.ocall_count += 1
+        cost = syscall_seconds
+        if self.mode is not ExecutionMode.NATIVE:
+            cost += calibration.SYSCALL_SHIELD_SECONDS
+            cost += self.transition_cost()
+            # Copying arguments out and results back in costs per byte.
+            cost += copied_bytes * 0.2e-9
+        yield self.simulator.timeout(cost)
+
+    def compute(self, cpu_seconds: float,
+                touched_bytes: Optional[int] = None,
+                ) -> Generator[Event, Any, None]:
+        """Run a CPU burst inside the enclave.
+
+        In hardware mode, a footprint exceeding the EPC adds paging cost
+        proportional to the touched bytes (Vault / MariaDB behaviour).
+        """
+        self._check_alive()
+        cost = cpu_seconds
+        if self.mode is ExecutionMode.HARDWARE:
+            touched = (touched_bytes if touched_bytes is not None
+                       else min(self.image.total_bytes, calibration.MB))
+            cost += self.platform.epc.fault_penalty_seconds(
+                self.image.total_bytes, touched)
+        yield self.simulator.timeout(cost)
+
+    def destroy(self) -> None:
+        """Tear down the enclave and release its EPC pages."""
+        if self.destroyed:
+            return
+        self.destroyed = True
+        if self.mode is ExecutionMode.HARDWARE:
+            self.platform.epc.free(self.image.total_bytes)

@@ -1,0 +1,159 @@
+"""Request/reply channels over TLS sessions.
+
+:class:`TLSConnection` pairs a TLS session with two network endpoints and
+exposes ``request``/``serve`` generators. Payloads cross the simulated wire
+only in AEAD-sealed form; the paper's "all communication is TLS with PFS"
+guarantee (§V-A) is therefore checkable by scanning ``Network.wire_log``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Generator, Optional
+
+from repro import calibration
+from repro.crypto.certificates import Certificate
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.signatures import PublicKey
+from repro.sim.core import Event
+from repro.sim.network import Endpoint, Network, Site
+from repro.tls.handshake import TLSSession, perform_handshake
+
+
+def _encode(payload: Any) -> bytes:
+    return pickle.dumps(payload)
+
+
+def _decode(data: bytes) -> Any:
+    return pickle.loads(data)
+
+
+class SecureChannel:
+    """One direction of an established TLS connection (seal/open helpers)."""
+
+    def __init__(self, session: TLSSession, is_client: bool) -> None:
+        self._session = session
+        self._is_client = is_client
+
+    def seal(self, payload: Any) -> bytes:
+        box = (self._session.client_box if self._is_client
+               else self._session.server_box)
+        return box.seal(_encode(payload))
+
+    def open(self, sealed: bytes) -> Any:
+        box = (self._session.server_box if self._is_client
+               else self._session.client_box)
+        return _decode(box.open(sealed))
+
+
+class TLSConnection:
+    """A client-side TLS connection to a server endpoint.
+
+    Construction performs the handshake (latency + optional certificate
+    verification); ``request`` sends one sealed request and waits for the
+    sealed reply.
+    """
+
+    def __init__(self, network: Network, client_endpoint: Endpoint,
+                 server_endpoint: Endpoint, session: TLSSession,
+                 rng: DeterministicRandom) -> None:
+        self.network = network
+        self.client_endpoint = client_endpoint
+        self.server_endpoint = server_endpoint
+        self.session = session
+        self._rng = rng
+        self.client_channel = SecureChannel(session, is_client=True)
+        self.server_channel = SecureChannel(session, is_client=False)
+        self.requests_sent = 0
+
+    @classmethod
+    def connect(cls, network: Network, client_name: str, client_site: Site,
+                server_endpoint: Endpoint, rng: DeterministicRandom,
+                server_certificate: Optional[Certificate] = None,
+                trusted_root: Optional[PublicKey] = None,
+                client_certificate: Optional[Certificate] = None,
+                ) -> Generator[Event, Any, "TLSConnection"]:
+        """Handshake and build a connection; a simulation process."""
+        session = yield network.simulator.process(perform_handshake(
+            network.simulator, rng.fork(b"handshake:" + client_name.encode()),
+            client_site, server_endpoint.site,
+            server_certificate=server_certificate,
+            trusted_root=trusted_root,
+            client_certificate=client_certificate,
+        ))
+        client_endpoint = network.endpoint(client_name, client_site)
+        return cls(network, client_endpoint, server_endpoint, session, rng)
+
+    def request(self, payload: Any, size_bytes: int = 512,
+                ) -> Generator[Event, Any, Any]:
+        """Send one request and wait for the reply; returns the reply payload."""
+        simulator = self.network.simulator
+        sealed = self.client_channel.seal(payload)
+        yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
+        self.client_endpoint.send(self.server_endpoint,
+                                  {"session": self.session.session_id,
+                                   "data": sealed},
+                                  size_bytes=size_bytes,
+                                  reply_to=self.client_endpoint)
+        self.requests_sent += 1
+        message = yield self.client_endpoint.receive()
+        yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
+        return self.client_channel.open(message.payload["data"])
+
+
+class TLSServer:
+    """Server-side dispatcher: one handler per connection-less request.
+
+    PALAEMON's REST API and approval services use this. Sessions are tracked
+    by id so the server can unseal with the right key; the handler is a
+    callable ``(request_payload, session) -> reply`` or a generator process
+    for handlers that consume simulated time.
+    """
+
+    def __init__(self, network: Network, endpoint: Endpoint,
+                 handler: Callable[[Any, TLSSession], Any]) -> None:
+        self.network = network
+        self.endpoint = endpoint
+        self.handler = handler
+        self._sessions: dict = {}
+        self.requests_served = 0
+        self._running = False
+
+    def register_session(self, session: TLSSession) -> None:
+        self._sessions[session.session_id] = session
+
+    def start(self) -> None:
+        """Begin serving (spawns the accept loop as a process)."""
+        if self._running:
+            return
+        self._running = True
+        self.network.simulator.process(self._serve_loop(),
+                                       name=f"tls-server-{self.endpoint.name}")
+
+    def stop(self) -> None:
+        self._running = False
+        self.endpoint.close()
+
+    def _serve_loop(self) -> Generator[Event, Any, None]:
+        from repro.sim.resources import StoreClosed
+
+        simulator = self.network.simulator
+        while self._running:
+            try:
+                message = yield self.endpoint.receive()
+            except StoreClosed:
+                return
+            session = self._sessions.get(message.payload["session"])
+            if session is None:
+                continue  # unknown session: drop, like a TLS alert
+            server_channel = SecureChannel(session, is_client=False)
+            request = server_channel.open(message.payload["data"])
+            yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
+            result = self.handler(request, session)
+            if hasattr(result, "__next__"):
+                result = yield simulator.process(result)
+            sealed = server_channel.seal(result)
+            self.requests_served += 1
+            message.reply_to and self.endpoint.send(
+                message.reply_to,
+                {"session": session.session_id, "data": sealed})

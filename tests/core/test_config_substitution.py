@@ -1,0 +1,70 @@
+"""Tests for secret substitution into argv/env, including binary secrets.
+
+Files take arbitrary binary secrets verbatim; argv and environment are
+*strings*, so binary secrets crossing that boundary are decoded with
+replacement — a lossy path callers should know about (real deployments put
+binary keys in files, text tokens in argv/env, as Table I's services do).
+"""
+
+import pytest
+
+from repro.core.secrets import SecretKind, SecretSpec
+
+from tests.core.conftest import Deployment
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(seed=b"substitution")
+
+
+def attested_config(deployment, secret_value, where):
+    policy = deployment.make_policy(secrets=[
+        SecretSpec(name="S", kind=SecretKind.EXPLICIT, value=secret_value)])
+    if where == "argv":
+        policy.services[0].command = ["app", "--secret=$$PALAEMON$S$$"]
+    elif where == "env":
+        policy.services[0].environment = {"SECRET": "$$PALAEMON$S$$"}
+    else:
+        policy.services[0].injection_files = {
+            "/etc/secret": b"value=$$PALAEMON$S$$"}
+    deployment.client.create_policy(deployment.palaemon, policy)
+    return deployment.palaemon.attest_application(
+        deployment.evidence_for("ml_policy"))
+
+
+class TestTextSecrets:
+    def test_argv_substitution_exact(self, deployment):
+        config = attested_config(deployment, b"token-abc123", "argv")
+        assert config.command[1] == "--secret=token-abc123"
+
+    def test_env_substitution_exact(self, deployment):
+        config = attested_config(deployment, b"token-abc123", "env")
+        assert config.environment["SECRET"] == "token-abc123"
+
+    def test_file_substitution_exact(self, deployment):
+        config = attested_config(deployment, b"token-abc123", "file")
+        assert config.injected_files["/etc/secret"] == b"value=token-abc123"
+
+
+class TestBinarySecrets:
+    BINARY = b"\x00\xff\xfe binary \x80 key"
+
+    def test_files_take_binary_verbatim(self, deployment):
+        config = attested_config(deployment, self.BINARY, "file")
+        assert config.injected_files["/etc/secret"] == b"value=" + self.BINARY
+
+    def test_argv_binary_is_lossy_but_total(self, deployment):
+        """Binary-to-argv never raises; non-UTF-8 bytes become U+FFFD."""
+        config = attested_config(deployment, self.BINARY, "argv")
+        assert config.command[1].startswith("--secret=")
+        assert "�" in config.command[1]
+
+    def test_env_binary_is_lossy_but_total(self, deployment):
+        config = attested_config(deployment, self.BINARY, "env")
+        assert "�" in config.environment["SECRET"]
+
+    def test_utf8_secrets_survive_argv_exactly(self, deployment):
+        value = "pässwörd-ünïcode".encode("utf-8")
+        config = attested_config(deployment, value, "argv")
+        assert config.command[1] == "--secret=" + value.decode("utf-8")

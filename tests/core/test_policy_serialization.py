@@ -1,0 +1,116 @@
+"""Tests for policy serialization (to_dict) round trips."""
+
+import pytest
+
+from repro.core.policy import (
+    BoardSpec,
+    ImportSpec,
+    PolicyBoardMember,
+    SecurityPolicy,
+    ServiceSpec,
+    VolumeImportSpec,
+    VolumeSpec,
+)
+from repro.core.secrets import SecretKind, SecretSpec
+from repro.crypto.certificates import self_signed_certificate
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.signatures import KeyPair
+
+
+def rich_policy():
+    """A policy exercising every serializable feature."""
+    rng = DeterministicRandom(b"serialize")
+    keys = KeyPair.generate(rng.fork(b"alice"), bits=512)
+    member = PolicyBoardMember(
+        name="alice", certificate=self_signed_certificate("alice", keys),
+        approval_endpoint="ep-alice", veto=True)
+    return SecurityPolicy(
+        name="full_policy",
+        services=[ServiceSpec(
+            name="app", image_name="img",
+            command=["app", "--flag"],
+            environment={"MODE": "prod"},
+            mrenclaves=[b"\x01" * 32, b"\x02" * 32],
+            platforms=[b"\x0a" * 16],
+            pwd="/work",
+            injection_files={"/etc/a.conf": b"k=$$PALAEMON$K$$"},
+            strict_mode=True)],
+        secrets=[
+            SecretSpec(name="K", kind=SecretKind.RANDOM, size=48,
+                       export_to=("other",)),
+            SecretSpec(name="PW", kind=SecretKind.EXPLICIT, value=b"hunter2"),
+            SecretSpec(name="TLS", kind=SecretKind.X509,
+                       common_name="a.example.com"),
+        ],
+        volumes=[VolumeSpec(name="out", path="/out",
+                            export_to="output_policy")],
+        imports=[ImportSpec(from_policy="upstream", secret_name="UP",
+                            local_name="LOCAL_UP")],
+        volume_imports=[VolumeImportSpec(from_policy="producer",
+                                         volume_name="shared")],
+        board=BoardSpec(members=(member,), threshold=1),
+    )
+
+
+class TestToDict:
+    def test_round_trip_preserves_everything(self):
+        original = rich_policy()
+        document, certificates = original.to_dict()
+        restored = SecurityPolicy.from_dict(
+            document, certificate_registry=certificates)
+
+        assert restored.name == original.name
+        service = restored.service("app")
+        assert service.mrenclaves == original.service("app").mrenclaves
+        assert service.platforms == original.service("app").platforms
+        assert service.command == ["app", "--flag"]
+        assert service.environment == {"MODE": "prod"}
+        assert service.pwd == "/work"
+        assert service.strict_mode
+        assert service.injection_files == {"/etc/a.conf":
+                                           b"k=$$PALAEMON$K$$"}
+        assert restored.secret_spec("K").export_to == ("other",)
+        assert restored.secret_spec("PW").value == b"hunter2"
+        assert restored.secret_spec("TLS").common_name == "a.example.com"
+        assert restored.volumes[0].export_to == "output_policy"
+        assert restored.imports[0].bound_name == "LOCAL_UP"
+        assert restored.volume_imports[0].volume_name == "shared"
+        assert restored.board is not None
+        assert restored.board.member("alice").veto
+        assert (restored.board.member("alice").certificate.fingerprint()
+                == original.board.member("alice").certificate.fingerprint())
+
+    def test_minimal_policy_round_trip(self):
+        policy = SecurityPolicy(
+            name="tiny",
+            services=[ServiceSpec(name="s", image_name="i",
+                                  mrenclaves=[b"\x03" * 32])])
+        document, certificates = policy.to_dict()
+        assert certificates == {}
+        restored = SecurityPolicy.from_dict(document)
+        assert restored.name == "tiny"
+        assert restored.service("s").mrenclaves == [b"\x03" * 32]
+
+    def test_document_is_plain_data(self):
+        """The document must be JSON-ish: dicts, lists, strings, ints."""
+        document, _certs = rich_policy().to_dict()
+
+        def check(value):
+            if isinstance(value, dict):
+                for key, item in value.items():
+                    assert isinstance(key, str)
+                    check(item)
+            elif isinstance(value, list):
+                for item in value:
+                    check(item)
+            else:
+                assert value is None or isinstance(value,
+                                                   (str, int, float, bool))
+
+        check(document)
+
+    def test_round_trip_validates(self):
+        document, certificates = rich_policy().to_dict()
+        restored = SecurityPolicy.from_dict(
+            document, certificate_registry=certificates)
+        restored.validate()

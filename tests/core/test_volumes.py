@@ -1,0 +1,213 @@
+"""Tests for encrypted volumes: per-volume keys/tags and cross-policy
+export (List 1 and footnote 1 of the paper)."""
+
+import pytest
+
+from repro.core.policy import (
+    SecurityPolicy,
+    ServiceSpec,
+    VolumeImportSpec,
+    VolumeSpec,
+)
+from repro.crypto.primitives import DeterministicRandom
+from repro.errors import (
+    AccessDeniedError,
+    PolicyError,
+    PolicyNotFoundError,
+    PolicyValidationError,
+    TagMismatchError,
+)
+from repro.fs.blockstore import BlockStore
+from repro.runtime.scone import SconeRuntime
+
+from tests.core.conftest import Deployment
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(seed=b"volumes")
+
+
+@pytest.fixture()
+def runtime(deployment):
+    return SconeRuntime(deployment.platform, deployment.palaemon,
+                        DeterministicRandom(b"vol-runtime"))
+
+
+def producer_policy(deployment, export_to="output_policy"):
+    policy = deployment.make_policy(name="ml_training")
+    policy.volumes.append(VolumeSpec(name="encrypted_output_volume",
+                                     path="/encrypted-output",
+                                     export_to=export_to))
+    return policy
+
+
+def consumer_policy(deployment, name="output_policy"):
+    policy = deployment.make_policy(name=name, service_name="reader")
+    policy.volume_imports.append(VolumeImportSpec(
+        from_policy="ml_training", volume_name="encrypted_output_volume"))
+    return policy
+
+
+class TestPolicyModel:
+    def test_duplicate_volume_names_rejected(self, deployment):
+        policy = deployment.make_policy()
+        policy.volumes = [VolumeSpec(name="v"), VolumeSpec(name="v")]
+        with pytest.raises(PolicyValidationError, match="duplicate volume"):
+            policy.validate()
+
+    def test_volume_import_collision_rejected(self, deployment):
+        policy = deployment.make_policy()
+        policy.volumes = [VolumeSpec(name="v")]
+        policy.volume_imports = [VolumeImportSpec(from_policy="p",
+                                                  volume_name="v")]
+        with pytest.raises(PolicyValidationError, match="collides"):
+            policy.validate()
+
+    def test_exports_volume_to(self, deployment):
+        policy = producer_policy(deployment)
+        assert policy.exports_volume_to("encrypted_output_volume",
+                                        "output_policy")
+        assert not policy.exports_volume_to("encrypted_output_volume",
+                                            "other")
+        assert not policy.exports_volume_to("ghost", "output_policy")
+
+    def test_yaml_volume_imports(self):
+        mre = b"\x01" * 32
+        policy = SecurityPolicy.from_yaml("""
+name: output_policy
+services:
+  - name: reader
+    mrenclaves: ["$MRE"]
+volume_imports:
+  - policy: ml_training
+    volume: encrypted_output_volume
+""", mrenclave_registry={"MRE": mre})
+        assert policy.volume_imports[0].from_policy == "ml_training"
+
+
+class TestVolumeGrants:
+    def test_local_volume_key_delivered(self, deployment):
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        config = deployment.palaemon.attest_application(
+            deployment.evidence_for("ml_training"))
+        grant = config.volumes["encrypted_output_volume"]
+        assert len(grant.key) == 32
+        assert grant.path == "/encrypted-output"
+        assert grant.owner_policy == "ml_training"
+
+    def test_exported_volume_shared_key(self, deployment):
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        deployment.client.create_policy(deployment.palaemon,
+                                        consumer_policy(deployment))
+        producer_config = deployment.palaemon.attest_application(
+            deployment.evidence_for("ml_training"))
+        consumer_config = deployment.palaemon.attest_application(
+            deployment.evidence_for("output_policy",
+                                    service_name="reader"))
+        assert (producer_config.volumes["encrypted_output_volume"].key
+                == consumer_config.volumes["encrypted_output_volume"].key)
+
+    def test_unexported_volume_denied(self, deployment):
+        deployment.client.create_policy(
+            deployment.palaemon,
+            producer_policy(deployment, export_to="someone_else"))
+        deployment.client.create_policy(deployment.palaemon,
+                                        consumer_policy(deployment))
+        with pytest.raises(AccessDeniedError, match="does not export"):
+            deployment.palaemon.attest_application(
+                deployment.evidence_for("output_policy",
+                                        service_name="reader"))
+
+    def test_import_from_unknown_policy(self, deployment):
+        policy = deployment.make_policy(name="orphan")
+        policy.volume_imports.append(VolumeImportSpec(
+            from_policy="nowhere", volume_name="v"))
+        deployment.client.create_policy(deployment.palaemon, policy)
+        with pytest.raises(PolicyError, match="unknown policy"):
+            deployment.palaemon.attest_application(
+                deployment.evidence_for("orphan"))
+
+
+class TestVolumeTags:
+    def test_tag_round_trip(self, deployment):
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        deployment.palaemon.update_volume_tag(
+            "ml_training", "encrypted_output_volume", b"\x09" * 32)
+        assert deployment.palaemon.get_volume_tag(
+            "ml_training", "encrypted_output_volume") == b"\x09" * 32
+
+    def test_undeclared_volume_rejected(self, deployment):
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        with pytest.raises(PolicyValidationError):
+            deployment.palaemon.update_volume_tag("ml_training", "ghost",
+                                                  b"\x01" * 32)
+
+    def test_unknown_policy_rejected(self, deployment):
+        with pytest.raises(PolicyNotFoundError):
+            deployment.palaemon.update_volume_tag("ghost", "v", b"\x01" * 32)
+        with pytest.raises(PolicyNotFoundError):
+            deployment.palaemon.get_volume_tag("ghost", "v")
+
+
+class TestEndToEndVolumeFlow:
+    def test_producer_writes_consumer_reads(self, deployment, runtime):
+        """The paper's ML example: the training job writes the encrypted
+        output volume; the output policy's reader decrypts and verifies."""
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        deployment.client.create_policy(deployment.palaemon,
+                                        consumer_policy(deployment))
+        shared_store = BlockStore("output-volume")
+
+        producer_app = runtime.launch(deployment.app_image, "ml_training",
+                                      "ml_app")
+        output = producer_app.mount_volume("encrypted_output_volume",
+                                           shared_store)
+        output.write("/encrypted-output/model.bin", b"trained-weights")
+        output.sync()  # pushes the volume tag to PALAEMON
+
+        consumer_app = runtime.launch(deployment.app_image, "output_policy",
+                                      "reader")
+        imported = consumer_app.mount_volume("encrypted_output_volume",
+                                             shared_store)
+        assert imported.read("/encrypted-output/model.bin") == \
+            b"trained-weights"
+        assert shared_store.scan_for(b"trained-weights") == []
+
+    def test_volume_rollback_detected_across_policies(self, deployment,
+                                                      runtime):
+        """Rolling back the shared volume is caught when the *consumer*
+        mounts it — the tag expectation lives with the owning policy."""
+        deployment.client.create_policy(deployment.palaemon,
+                                        producer_policy(deployment))
+        deployment.client.create_policy(deployment.palaemon,
+                                        consumer_policy(deployment))
+        shared_store = BlockStore("output-volume")
+        producer_app = runtime.launch(deployment.app_image, "ml_training",
+                                      "ml_app")
+        output = producer_app.mount_volume("encrypted_output_volume",
+                                           shared_store)
+        output.write("/encrypted-output/model.bin", b"v1")
+        output.sync()
+        checkpoint = shared_store.snapshot()
+        output.write("/encrypted-output/model.bin", b"v2")
+        output.sync()
+        shared_store.restore(checkpoint)  # attacker rolls the volume back
+
+        consumer_app = runtime.launch(deployment.app_image, "output_policy",
+                                      "reader")
+        with pytest.raises(TagMismatchError):
+            consumer_app.mount_volume("encrypted_output_volume",
+                                      shared_store)
+
+    def test_unknown_grant_rejected(self, deployment, runtime):
+        deployment.client.create_policy(deployment.palaemon,
+                                        deployment.make_policy())
+        app = runtime.launch(deployment.app_image, "ml_policy", "ml_app")
+        with pytest.raises(KeyError):
+            app.mount_volume("no-such-volume", BlockStore())

@@ -1,0 +1,129 @@
+"""Tests for the YAML-subset parser."""
+
+import pytest
+
+from repro.core.yamlish import YamlishError, loads
+
+
+class TestScalars:
+    def test_strings(self):
+        assert loads("key: value") == {"key": "value"}
+        assert loads('key: "quoted value"') == {"key": "quoted value"}
+        assert loads("key: 'single'") == {"key": "single"}
+
+    def test_numbers(self):
+        assert loads("int: 42\nfloat: 3.5\nneg: -7") == {
+            "int": 42, "float": 3.5, "neg": -7}
+
+    def test_booleans_and_null(self):
+        assert loads("a: true\nb: false\nc: null\nd: ~") == {
+            "a": True, "b": False, "c": None, "d": None}
+
+    def test_inline_list(self):
+        assert loads('xs: ["a", "b", "c"]') == {"xs": ["a", "b", "c"]}
+        assert loads("xs: [1, 2, 3]") == {"xs": [1, 2, 3]}
+        assert loads("xs: []") == {"xs": []}
+
+    def test_inline_list_with_commas_in_quotes(self):
+        assert loads('xs: ["a,b", "c"]') == {"xs": ["a,b", "c"]}
+
+
+class TestStructure:
+    def test_nested_mapping(self):
+        doc = "outer:\n  inner:\n    leaf: 1"
+        assert loads(doc) == {"outer": {"inner": {"leaf": 1}}}
+
+    def test_sequence_of_scalars(self):
+        doc = "items:\n  - one\n  - two"
+        assert loads(doc) == {"items": ["one", "two"]}
+
+    def test_sequence_of_mappings(self):
+        doc = ("services:\n"
+               "  - name: app\n"
+               "    image: python\n"
+               "  - name: db\n"
+               "    image: mariadb\n")
+        assert loads(doc) == {"services": [
+            {"name": "app", "image": "python"},
+            {"name": "db", "image": "mariadb"}]}
+
+    def test_empty_value_then_dedent(self):
+        doc = "a:\nb: 2"
+        assert loads(doc) == {"a": None, "b": 2}
+
+    def test_empty_document(self):
+        assert loads("") == {}
+        assert loads("\n\n# only a comment\n") == {}
+
+    def test_paper_policy_shape(self):
+        """The exact structure of List 1 in the paper parses."""
+        doc = """
+name: python_policy
+services:
+  - name: python_app
+    image_name: python_image
+    command: python /app.py -o /encrypted-output
+    mrenclaves: ["$PYTHON_MRENCLAVE"]
+    platforms: ["$PLATFORM_ID"]
+    pwd: /
+    fspf_path: /fspf.pb
+    fspf_key: "$PALAEMON_FSPF_KEY"
+    fspf_tag: "$PALAEMON_FSPF_TAG"
+images:
+  - name: python_image
+    volumes:
+      - name: encrypted_output_volume
+        path: /encrypted-output
+volumes:
+  # an encrypted volume will
+  # be automatically generated
+  - name: encrypted_output_volume
+    # export encrypted volume to output policy
+    export: output_policy
+"""
+        parsed = loads(doc)
+        assert parsed["name"] == "python_policy"
+        assert parsed["services"][0]["mrenclaves"] == ["$PYTHON_MRENCLAVE"]
+        assert parsed["volumes"][0]["export"] == "output_policy"
+        assert parsed["images"][0]["volumes"][0]["path"] == "/encrypted-output"
+
+
+class TestComments:
+    def test_full_line_comment(self):
+        assert loads("# comment\nkey: value") == {"key": "value"}
+
+    def test_trailing_comment(self):
+        assert loads("key: value  # explanation") == {"key": "value"}
+
+    def test_hash_inside_quotes_preserved(self):
+        assert loads('key: "has # inside"') == {"key": "has # inside"}
+
+
+class TestErrors:
+    def test_tabs_rejected(self):
+        with pytest.raises(YamlishError, match="tabs"):
+            loads("key:\n\tvalue: 1")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(YamlishError, match="duplicate"):
+            loads("a: 1\na: 2")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(YamlishError):
+            loads("just a bare line")
+
+    def test_anchor_rejected(self):
+        with pytest.raises(YamlishError, match="anchors"):
+            loads("a: &anchor 1")
+
+    def test_flow_mapping_rejected(self):
+        with pytest.raises(YamlishError, match="flow mappings"):
+            loads("a: {b: 1}")
+
+    def test_block_scalar_rejected(self):
+        with pytest.raises(YamlishError, match="block scalars"):
+            loads("a: |")
+
+    def test_bad_indent_rejected(self):
+        with pytest.raises(YamlishError):
+            loads("a:\n  b: 1\n    c: 2\n  # bad sibling indent\n d: 3")

@@ -1,0 +1,120 @@
+"""Tests for RSA-FDH signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.signatures import (
+    KeyPair,
+    PublicKey,
+    verify_signature,
+    _generate_prime,
+    _is_probable_prime,
+    _modular_inverse,
+)
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def key_pair():
+    return KeyPair.generate(DeterministicRandom(b"sig-test"), bits=512)
+
+
+@pytest.fixture(scope="module")
+def other_key_pair():
+    return KeyPair.generate(DeterministicRandom(b"sig-other"), bits=512)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        rng = DeterministicRandom(b"prime")
+        for prime in (2, 3, 5, 7, 97, 101, 104729):
+            assert _is_probable_prime(prime, rng)
+
+    def test_known_composites(self):
+        rng = DeterministicRandom(b"prime")
+        for composite in (0, 1, 4, 100, 104730, 561, 41041):  # Carmichaels too
+            assert not _is_probable_prime(composite, rng)
+
+    def test_generated_prime_size(self):
+        rng = DeterministicRandom(b"gen")
+        prime = _generate_prime(128, rng)
+        assert prime.bit_length() == 128
+        assert prime % 2 == 1
+
+
+class TestModularInverse:
+    def test_inverse(self):
+        assert (_modular_inverse(3, 11) * 3) % 11 == 1
+
+    def test_no_inverse(self):
+        with pytest.raises(ValueError):
+            _modular_inverse(6, 9)
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self, key_pair):
+        signature = key_pair.sign(b"message")
+        assert verify_signature(key_pair.public, b"message", signature)
+
+    def test_verify_raises_on_forgery(self, key_pair):
+        with pytest.raises(SignatureError):
+            key_pair.public.verify(b"message", b"\x00" * 64)
+
+    def test_wrong_message_rejected(self, key_pair):
+        signature = key_pair.sign(b"message")
+        assert not verify_signature(key_pair.public, b"other", signature)
+
+    def test_wrong_key_rejected(self, key_pair, other_key_pair):
+        signature = key_pair.sign(b"message")
+        assert not verify_signature(other_key_pair.public, b"message",
+                                    signature)
+
+    def test_tampered_signature_rejected(self, key_pair):
+        signature = bytearray(key_pair.sign(b"message"))
+        signature[0] ^= 1
+        assert not verify_signature(key_pair.public, b"message",
+                                    bytes(signature))
+
+    def test_wrong_length_signature_rejected(self, key_pair):
+        signature = key_pair.sign(b"message")
+        assert not verify_signature(key_pair.public, b"message",
+                                    signature + b"\x00")
+
+    def test_oversized_signature_integer_rejected(self, key_pair):
+        nbytes = (key_pair.public.modulus.bit_length() + 7) // 8
+        too_big = (key_pair.public.modulus + 1).to_bytes(nbytes, "big")
+        assert not verify_signature(key_pair.public, b"message", too_big)
+
+    def test_deterministic_keygen(self):
+        a = KeyPair.generate(DeterministicRandom(b"same"), bits=512)
+        b = KeyPair.generate(DeterministicRandom(b"same"), bits=512)
+        assert a.public == b.public
+
+    def test_distinct_seeds_distinct_keys(self, key_pair, other_key_pair):
+        assert key_pair.public != other_key_pair.public
+
+    def test_too_small_key_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPair.generate(DeterministicRandom(b"s"), bits=64)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_round_trip_property(self, message):
+        pair = KeyPair.generate(DeterministicRandom(b"hyp-fixed"), bits=512)
+        assert verify_signature(pair.public, message, pair.sign(message))
+
+
+class TestPublicKeySerialization:
+    def test_round_trip(self, key_pair):
+        restored = PublicKey.from_bytes(key_pair.public.to_bytes())
+        assert restored == key_pair.public
+
+    def test_fingerprint_stable_and_distinct(self, key_pair, other_key_pair):
+        assert key_pair.public.fingerprint() == key_pair.public.fingerprint()
+        assert (key_pair.public.fingerprint()
+                != other_key_pair.public.fingerprint())
+
+    def test_hashable(self, key_pair, other_key_pair):
+        registry = {key_pair.public: "a", other_key_pair.public: "b"}
+        assert registry[key_pair.public] == "a"

@@ -1,0 +1,143 @@
+"""Tests for the AEAD cipher and SecretBox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.symmetric import (
+    AEADCipher,
+    Ciphertext,
+    KEY_SIZE,
+    NONCE_SIZE,
+    SecretBox,
+    generate_key,
+)
+from repro.errors import IntegrityError
+
+
+def make_cipher(seed=b"key-seed"):
+    rng = DeterministicRandom(seed)
+    return AEADCipher(rng.bytes(KEY_SIZE)), rng
+
+
+class TestAEADCipher:
+    def test_round_trip(self):
+        cipher, rng = make_cipher()
+        nonce = rng.bytes(NONCE_SIZE)
+        ct = cipher.encrypt(b"hello world", nonce)
+        assert cipher.decrypt(ct) == b"hello world"
+
+    def test_ciphertext_hides_plaintext(self):
+        cipher, rng = make_cipher()
+        plaintext = b"very secret bytes"
+        ct = cipher.encrypt(plaintext, rng.bytes(NONCE_SIZE))
+        assert plaintext not in ct.body
+        assert plaintext not in ct.to_bytes()
+
+    def test_tampered_body_rejected(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"data", rng.bytes(NONCE_SIZE))
+        bad = Ciphertext(nonce=ct.nonce,
+                         body=bytes([ct.body[0] ^ 1]) + ct.body[1:],
+                         tag=ct.tag)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bad)
+
+    def test_tampered_tag_rejected(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"data", rng.bytes(NONCE_SIZE))
+        bad = Ciphertext(nonce=ct.nonce, body=ct.body,
+                         tag=bytes([ct.tag[0] ^ 1]) + ct.tag[1:])
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bad)
+
+    def test_tampered_nonce_rejected(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"data", rng.bytes(NONCE_SIZE))
+        bad = Ciphertext(nonce=bytes([ct.nonce[0] ^ 1]) + ct.nonce[1:],
+                         body=ct.body, tag=ct.tag)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bad)
+
+    def test_wrong_key_rejected(self):
+        cipher_a, rng = make_cipher(b"a")
+        cipher_b, _ = make_cipher(b"b")
+        ct = cipher_a.encrypt(b"data", rng.bytes(NONCE_SIZE))
+        with pytest.raises(IntegrityError):
+            cipher_b.decrypt(ct)
+
+    def test_associated_data_binds(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"data", rng.bytes(NONCE_SIZE),
+                            associated_data=b"context-a")
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(ct, associated_data=b"context-b")
+        assert cipher.decrypt(ct, associated_data=b"context-a") == b"data"
+
+    def test_empty_plaintext(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"", rng.bytes(NONCE_SIZE))
+        assert cipher.decrypt(ct) == b""
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            AEADCipher(b"short")
+
+    def test_bad_nonce_size_rejected(self):
+        cipher, _ = make_cipher()
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"data", b"short-nonce")
+
+    @given(st.binary(max_size=2048))
+    def test_round_trip_property(self, plaintext):
+        cipher, rng = make_cipher(b"hyp")
+        nonce = rng.bytes(NONCE_SIZE)
+        assert cipher.decrypt(cipher.encrypt(plaintext, nonce)) == plaintext
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(0, 10_000))
+    def test_bit_flip_always_detected(self, plaintext, flip_seed):
+        cipher, rng = make_cipher(b"flip")
+        ct = cipher.encrypt(plaintext, rng.bytes(NONCE_SIZE))
+        raw = bytearray(ct.to_bytes())
+        position = flip_seed % (len(raw) * 8)
+        raw[position // 8] ^= 1 << (position % 8)
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(Ciphertext.from_bytes(bytes(raw)))
+
+
+class TestCiphertextSerialization:
+    def test_round_trip(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"payload", rng.bytes(NONCE_SIZE))
+        parsed = Ciphertext.from_bytes(ct.to_bytes())
+        assert parsed == ct
+
+    def test_truncated_rejected(self):
+        with pytest.raises(IntegrityError):
+            Ciphertext.from_bytes(b"too short")
+
+    def test_length(self):
+        cipher, rng = make_cipher()
+        ct = cipher.encrypt(b"12345", rng.bytes(NONCE_SIZE))
+        assert len(ct) == len(ct.to_bytes())
+
+
+class TestSecretBox:
+    def test_round_trip(self):
+        rng = DeterministicRandom(b"box")
+        box = SecretBox(generate_key(rng), rng.fork(b"nonces"))
+        sealed = box.seal(b"secret")
+        assert box.open(sealed) == b"secret"
+
+    def test_distinct_nonces_per_seal(self):
+        rng = DeterministicRandom(b"box")
+        box = SecretBox(generate_key(rng), rng.fork(b"nonces"))
+        assert box.seal(b"same") != box.seal(b"same")
+
+    def test_associated_data(self):
+        rng = DeterministicRandom(b"box")
+        box = SecretBox(generate_key(rng), rng.fork(b"nonces"))
+        sealed = box.seal(b"secret", associated_data=b"ad")
+        with pytest.raises(IntegrityError):
+            box.open(sealed)
+        assert box.open(sealed, associated_data=b"ad") == b"secret"

@@ -1,0 +1,68 @@
+"""Tests for the latency distribution models."""
+
+import math
+
+import pytest
+
+from repro.crypto.primitives import DeterministicRandom
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    UniformJitterLatency,
+)
+
+
+class TestConstantLatency:
+    def test_sample_equals_mean(self):
+        model = ConstantLatency(0.005)
+        assert model.sample() == 0.005
+        assert model.mean() == 0.005
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+    def test_zero_allowed(self):
+        assert ConstantLatency(0.0).sample() == 0.0
+
+
+class TestExponentialLatency:
+    def test_sample_mean_converges(self):
+        model = ExponentialLatency(0.010, DeterministicRandom(b"exp"))
+        samples = [model.sample() for _ in range(5000)]
+        assert math.isclose(sum(samples) / len(samples), 0.010, rel_tol=0.1)
+        assert model.mean() == 0.010
+
+    def test_samples_nonnegative(self):
+        model = ExponentialLatency(0.001, DeterministicRandom(b"nn"))
+        assert all(model.sample() >= 0 for _ in range(100))
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(0.0, DeterministicRandom(b"x"))
+
+
+class TestUniformJitterLatency:
+    def test_range(self):
+        model = UniformJitterLatency(0.010, 0.004,
+                                     DeterministicRandom(b"jit"))
+        for _ in range(200):
+            sample = model.sample()
+            assert 0.010 <= sample <= 0.014
+
+    def test_mean(self):
+        model = UniformJitterLatency(0.010, 0.004,
+                                     DeterministicRandom(b"jit"))
+        assert model.mean() == pytest.approx(0.012)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            UniformJitterLatency(-0.001, 0.0, DeterministicRandom(b"x"))
+        with pytest.raises(ValueError):
+            UniformJitterLatency(0.001, -0.1, DeterministicRandom(b"x"))
+
+    def test_spread_covers_range(self):
+        model = UniformJitterLatency(0.0, 1.0, DeterministicRandom(b"s"))
+        samples = [model.sample() for _ in range(500)]
+        assert min(samples) < 0.1
+        assert max(samples) > 0.9

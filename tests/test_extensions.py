@@ -1,0 +1,322 @@
+"""Tests for the extension features: DCAP, federation, and fail-over."""
+
+import pytest
+
+from repro import calibration
+from repro.core.failover import FailoverCoordinator
+from repro.core.federation import FederatedInstance, Federation
+from repro.core.policy import SecurityPolicy, ServiceSpec
+from repro.core.secrets import SecretKind, SecretSpec
+from repro.core.service import PalaemonService
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.errors import (
+    AccessDeniedError,
+    AttestationError,
+    PolicyError,
+    PolicyNotFoundError,
+    QuoteError,
+)
+from repro.fs.blockstore import BlockStore
+from repro.sim.network import Site
+from repro.tee.dcap import DCAPVerifier, ProvisioningAuthority
+from repro.tee.image import build_image
+from repro.tee.platform import SGXPlatform
+
+from tests.core.conftest import Deployment
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(seed=b"extensions")
+
+
+class TestDCAP:
+    def make_verifier(self, deployment, minimum_tcb=0):
+        authority = ProvisioningAuthority(DeterministicRandom(b"intel"))
+        pck = authority.certify_platform(deployment.platform)
+        verifier = DCAPVerifier(authority.root_public_key,
+                                minimum_tcb=minimum_tcb)
+        verifier.install_certificate(pck)
+        return authority, verifier
+
+    def quote_from(self, deployment, image=None):
+        image = image or deployment.app_image
+        enclave = deployment.platform.launch_instant(image)
+        return deployment.platform.quoting_enclave.quote(enclave, b"data")
+
+    def test_offline_verification_succeeds(self, deployment):
+        _, verifier = self.make_verifier(deployment)
+        verifier.verify_quote(self.quote_from(deployment))
+        assert verifier.quotes_verified == 1
+
+    def test_unknown_platform_rejected(self, deployment):
+        authority = ProvisioningAuthority(DeterministicRandom(b"intel"))
+        verifier = DCAPVerifier(authority.root_public_key)
+        with pytest.raises(QuoteError, match="no cached platform"):
+            verifier.verify_quote(self.quote_from(deployment))
+
+    def test_wrong_root_rejected(self, deployment):
+        authority = ProvisioningAuthority(DeterministicRandom(b"intel"))
+        pck = authority.certify_platform(deployment.platform)
+        evil = ProvisioningAuthority(DeterministicRandom(b"evil"))
+        verifier = DCAPVerifier(evil.root_public_key)
+        from repro.errors import CertificateError
+
+        with pytest.raises(CertificateError):
+            verifier.install_certificate(pck)
+
+    def test_tcb_pinning(self, deployment):
+        """A pre-Spectre platform fails a post-Foreshadow TCB floor."""
+        sim = deployment.simulator
+        old_platform = SGXPlatform(sim, "old-node",
+                                   DeterministicRandom(b"old"),
+                                   microcode=calibration.MICROCODE_PRE_SPECTRE)
+        authority = ProvisioningAuthority(DeterministicRandom(b"intel"))
+        pck = authority.certify_platform(old_platform)
+        verifier = DCAPVerifier(
+            authority.root_public_key,
+            minimum_tcb=calibration.MICROCODE_POST_FORESHADOW.revision)
+        verifier.install_certificate(pck)
+        enclave = old_platform.launch_instant(build_image("app"))
+        quote = old_platform.quoting_enclave.quote(enclave, b"d")
+        with pytest.raises(QuoteError, match="TCB"):
+            verifier.verify_quote(quote)
+
+    def test_key_substitution_rejected(self, deployment):
+        """A quote signed by a non-certified key fails even if cached."""
+        _, verifier = self.make_verifier(deployment)
+        rogue = SGXPlatform(deployment.simulator, "rogue",
+                            DeterministicRandom(b"rogue"))
+        # The rogue claims the genuine platform's id in its report.
+        rogue.quoting_enclave.platform_id = deployment.platform.platform_id
+        enclave = rogue.launch_instant(build_image("app"))
+        quote = rogue.quoting_enclave.quote(enclave, b"d")
+        with pytest.raises(QuoteError, match="other than the certified"):
+            verifier.verify_quote(quote)
+
+    def test_lookup_serves_cached_certificates(self, deployment):
+        authority, _ = self.make_verifier(deployment)
+        pck = authority.lookup(deployment.platform.platform_id)
+        assert pck is not None
+        assert pck.tcb_revision == deployment.platform.microcode.revision
+        assert authority.lookup(b"\x00" * 16) is None
+
+
+def make_second_instance(deployment, name="palaemon-2", site=Site.SAME_DC):
+    """A second genuine PALAEMON on its own platform, CA-certified."""
+    rng = DeterministicRandom(name.encode())
+    platform = SGXPlatform(deployment.simulator, f"{name}-node",
+                           rng.fork(b"platform"))
+    deployment.ias.register_platform(
+        platform.quoting_enclave.attestation_public_key,
+        platform.microcode.revision)
+    service = PalaemonService(platform, BlockStore(f"{name}-volume"),
+                              rng.fork(b"service"), name=name,
+                              board_evaluator=deployment.evaluator)
+    service.platform_registry.enroll(
+        platform.platform_id,
+        platform.quoting_enclave.attestation_public_key)
+    deployment.simulator.run_process(service.start())
+    service.obtain_certificate(deployment.ca)
+    return service
+
+
+class TestFederation:
+    def make_pair(self, deployment):
+        local = FederatedInstance(deployment.palaemon, Site.SAME_RACK,
+                                  deployment.ca.root_public_key)
+        remote_service = make_second_instance(deployment)
+        remote = FederatedInstance(remote_service,
+                                   Site.CONTINENTAL_7000KM,
+                                   deployment.ca.root_public_key)
+        deployment.simulator.run_process(local.peer_with(remote))
+        return local, remote, remote_service
+
+    def seed_remote_policy(self, deployment, remote_service,
+                           export_to=("consumer_policy",)):
+        policy = SecurityPolicy(
+            name="producer_policy",
+            services=[ServiceSpec(name="svc", image_name="img",
+                                  mrenclaves=[deployment.app_image
+                                              .mrenclave()])],
+            secrets=[SecretSpec(name="SHARED_KEY", kind=SecretKind.RANDOM,
+                                export_to=tuple(export_to))])
+        remote_service.create_policy(policy, deployment.client.certificate)
+        return policy
+
+    def test_peering_establishes_links(self, deployment):
+        local, remote, _ = self.make_pair(deployment)
+        assert remote.name in local.peers()
+        assert local.name in remote.peers()
+
+    def test_uncertified_peer_rejected(self, deployment):
+        local = FederatedInstance(deployment.palaemon, Site.SAME_RACK,
+                                  deployment.ca.root_public_key)
+        rng = DeterministicRandom(b"rogue-fed")
+        rogue_platform = SGXPlatform(deployment.simulator, "rogue-node",
+                                     rng.fork(b"p"))
+        rogue = PalaemonService(rogue_platform, BlockStore("rv"),
+                                rng.fork(b"s"), name="rogue",
+                                version="tampered")
+        deployment.simulator.run_process(rogue.start())
+        rogue_fed = FederatedInstance(rogue, Site.SAME_DC,
+                                      deployment.ca.root_public_key)
+        with pytest.raises(AttestationError):
+            deployment.simulator.run_process(local.peer_with(rogue_fed))
+        assert rogue_fed.name not in local.peers()
+
+    def test_remote_secret_retrieval(self, deployment):
+        local, remote, remote_service = self.make_pair(deployment)
+        self.seed_remote_policy(deployment, remote_service)
+
+        def main():
+            secrets = yield deployment.simulator.process(
+                local.fetch_remote_secrets(
+                    remote.name, "producer_policy", "consumer_policy",
+                    ["SHARED_KEY"]))
+            return secrets
+
+        secrets = deployment.simulator.run_process(main())
+        expected = remote_service.store.get(
+            "secrets", "producer_policy")["SHARED_KEY"].value
+        assert secrets["SHARED_KEY"] == expected
+
+    def test_export_rules_enforced_across_instances(self, deployment):
+        local, remote, remote_service = self.make_pair(deployment)
+        self.seed_remote_policy(deployment, remote_service,
+                                export_to=("someone_else",))
+
+        def main():
+            yield deployment.simulator.process(
+                local.fetch_remote_secrets(
+                    remote.name, "producer_policy", "consumer_policy",
+                    ["SHARED_KEY"]))
+
+        with pytest.raises(AccessDeniedError):
+            deployment.simulator.run_process(main())
+
+    def test_unknown_policy_on_peer(self, deployment):
+        local, remote, _ = self.make_pair(deployment)
+
+        def main():
+            yield deployment.simulator.process(
+                local.fetch_remote_secrets(remote.name, "ghost", "c", ["K"]))
+
+        with pytest.raises(PolicyNotFoundError):
+            deployment.simulator.run_process(main())
+
+    def test_fetch_without_link_rejected(self, deployment):
+        local = FederatedInstance(deployment.palaemon, Site.SAME_RACK,
+                                  deployment.ca.root_public_key)
+
+        def main():
+            yield deployment.simulator.process(
+                local.fetch_remote_secrets("nobody", "p", "c", ["K"]))
+
+        with pytest.raises(AttestationError, match="no attested link"):
+            deployment.simulator.run_process(main())
+
+    def test_remote_fetch_latency_dominated_by_distance(self, deployment):
+        local, remote, remote_service = self.make_pair(deployment)
+        self.seed_remote_policy(deployment, remote_service)
+        sim = deployment.simulator
+
+        def main():
+            start = sim.now
+            yield sim.process(local.fetch_remote_secrets(
+                remote.name, "producer_policy", "consumer_policy",
+                ["SHARED_KEY"]))
+            return sim.now - start
+
+        elapsed = sim.run_process(main())
+        assert elapsed >= calibration.RTT_7000_KM
+
+    def test_federation_mesh_and_lookup(self, deployment):
+        federation = Federation()
+        local = FederatedInstance(deployment.palaemon, Site.SAME_RACK,
+                                  deployment.ca.root_public_key)
+        second = FederatedInstance(make_second_instance(deployment),
+                                   Site.SAME_DC,
+                                   deployment.ca.root_public_key)
+        third = FederatedInstance(
+            make_second_instance(deployment, name="palaemon-3"),
+            Site.REGIONAL_300KM, deployment.ca.root_public_key)
+        for instance in (local, second, third):
+            federation.add(instance)
+        deployment.simulator.run_process(federation.connect_all())
+        assert len(local.peers()) == 2
+        self.seed_remote_policy(deployment, second.service)
+        assert federation.locate_policy("producer_policy") == second.name
+        assert federation.locate_policy("nowhere") is None
+
+
+class TestFailover:
+    def make_coordinator(self, deployment):
+        backup = make_second_instance(deployment, name="palaemon-backup")
+        return FailoverCoordinator(deployment.palaemon, backup)
+
+    def test_same_platform_backup_rejected(self, deployment):
+        twin = PalaemonService(deployment.platform, BlockStore("twin"),
+                               DeterministicRandom(b"twin"), name="twin")
+        with pytest.raises(PolicyError, match="different platform"):
+            FailoverCoordinator(deployment.palaemon, twin)
+
+    def test_replication_flows(self, deployment):
+        coordinator = self.make_coordinator(deployment)
+
+        def main():
+            sequence = yield deployment.simulator.process(
+                coordinator.replicate("tags", "app", b"\x01" * 32))
+            return sequence
+
+        assert deployment.simulator.run_process(main()) == 1
+        assert coordinator.replication_lag() == 0
+
+    def test_promotion_exposes_replicated_state(self, deployment):
+        coordinator = self.make_coordinator(deployment)
+
+        def run():
+            yield deployment.simulator.process(
+                coordinator.replicate("tags", "app", b"\x02" * 32))
+            coordinator.primary_crashed()
+            promoted = yield deployment.simulator.process(
+                coordinator.promote_backup())
+            return promoted
+
+        promoted = deployment.simulator.run_process(run())
+        assert promoted is coordinator.backup
+        assert promoted.store.get("tags", "app") == b"\x02" * 32
+        assert coordinator.epoch == 2
+
+    def test_promotion_refused_while_primary_serves(self, deployment):
+        coordinator = self.make_coordinator(deployment)
+
+        def main():
+            yield deployment.simulator.process(coordinator.promote_backup())
+
+        with pytest.raises(PolicyError, match="primary is serving"):
+            deployment.simulator.run_process(main())
+
+    def test_fenced_primary_cannot_restart(self, deployment):
+        coordinator = self.make_coordinator(deployment)
+
+        def run():
+            yield deployment.simulator.process(
+                coordinator.replicate("tags", "app", b"\x03" * 32))
+            coordinator.primary_crashed()
+            yield deployment.simulator.process(coordinator.promote_backup())
+
+        deployment.simulator.run_process(run())
+        assert coordinator.verify_primary_fenced()
+
+    def test_no_writes_after_promotion_via_old_path(self, deployment):
+        coordinator = self.make_coordinator(deployment)
+
+        def run():
+            coordinator.primary_crashed()
+            yield deployment.simulator.process(coordinator.promote_backup())
+            yield deployment.simulator.process(
+                coordinator.replicate("tags", "app", b"\x04" * 32))
+
+        with pytest.raises(PolicyError, match="before promotion"):
+            deployment.simulator.run_process(run())

@@ -1,0 +1,152 @@
+"""Tests for instance public-key pinning (§IV-B) and two-factor approval
+services for human board members (§III-C)."""
+
+import pytest
+
+from repro.core.board import (
+    AccessRequest,
+    BoardEvaluator,
+    TwoFactorApprovalService,
+)
+from repro.core.client import PalaemonClient
+from repro.core.policy import BoardSpec, PolicyBoardMember
+from repro.crypto.certificates import self_signed_certificate
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.signatures import KeyPair
+from repro.errors import ApprovalDeniedError, AttestationError
+from repro.sim.core import Simulator
+
+from tests.core.conftest import Deployment
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(seed=b"pinning-2fa")
+
+
+class TestPublicKeyPinning:
+    def test_pinned_instance_accepted(self, deployment):
+        client = PalaemonClient("pinning", DeterministicRandom(b"pin"))
+        client.attest_instance_pinned(
+            deployment.palaemon,
+            pinned_keys=frozenset({deployment.palaemon.public_key}),
+            ca_root=deployment.ca.root_public_key,
+            now=deployment.simulator.now)
+        assert deployment.palaemon.name in client.attested_instances
+
+    def test_unpinned_instance_rejected_despite_valid_ca_cert(self,
+                                                              deployment):
+        """A genuine, CA-certified instance is still refused if it is not
+        in the client's pinned set."""
+        other_keys = KeyPair.generate(DeterministicRandom(b"elsewhere"),
+                                      bits=512)
+        client = PalaemonClient("pinning", DeterministicRandom(b"pin"))
+        with pytest.raises(AttestationError, match="pinned set"):
+            client.attest_instance_pinned(
+                deployment.palaemon,
+                pinned_keys=frozenset({other_keys.public}),
+                ca_root=deployment.ca.root_public_key,
+                now=deployment.simulator.now)
+        assert deployment.palaemon.name not in client.attested_instances
+
+    def test_pinning_does_not_bypass_ca_check(self, deployment):
+        """Pinned but uncertified is still refused: both factors required."""
+        from repro.core.service import PalaemonService
+        from repro.fs.blockstore import BlockStore
+
+        uncertified = PalaemonService(deployment.platform,
+                                      BlockStore("uncertified"),
+                                      DeterministicRandom(b"uncert"),
+                                      name="uncertified")
+        client = PalaemonClient("pinning", DeterministicRandom(b"pin"))
+        with pytest.raises(AttestationError, match="no CA certificate"):
+            client.attest_instance_pinned(
+                uncertified,
+                pinned_keys=frozenset({uncertified.public_key}),
+                ca_root=deployment.ca.root_public_key,
+                now=deployment.simulator.now)
+
+
+def make_2fa_board(sim, threshold=1):
+    rng = DeterministicRandom(b"2fa-board")
+    keys = KeyPair.generate(rng.fork(b"alice"), bits=512)
+    device_secret = rng.fork(b"device").bytes(32)
+    service = TwoFactorApprovalService(sim, "alice", keys,
+                                       device_secret=device_secret)
+    member = PolicyBoardMember(
+        name="alice", certificate=self_signed_certificate("alice", keys),
+        approval_endpoint="ep-alice")
+    board = BoardSpec(members=(member,), threshold=threshold)
+    evaluator = BoardEvaluator(sim, {"ep-alice": service})
+    return board, evaluator, service
+
+
+def request():
+    return AccessRequest(policy_name="p", operation="update",
+                         requester_fingerprint=b"\x01" * 16,
+                         nonce=b"\x02" * 16)
+
+
+class TestTwoFactorApproval:
+    def test_without_code_member_abstains(self):
+        sim = Simulator()
+        board, evaluator, _service = make_2fa_board(sim)
+        outcome = evaluator.evaluate_local(board, request())
+        assert outcome.unreachable == ["alice"]
+        with pytest.raises(ApprovalDeniedError):
+            BoardEvaluator.enforce(board, request(), outcome)
+
+    def test_with_fresh_code_member_votes(self):
+        sim = Simulator()
+        board, evaluator, service = make_2fa_board(sim)
+        service.present_code(service.expected_code(sim.now))
+        outcome = evaluator.evaluate_local(board, request())
+        assert len(outcome.approvals) == 1
+        BoardEvaluator.enforce(board, request(), outcome)
+
+    def test_code_is_single_use(self):
+        sim = Simulator()
+        board, evaluator, service = make_2fa_board(sim)
+        service.present_code(service.expected_code(sim.now))
+        evaluator.evaluate_local(board, request())
+        # Second round without re-presenting: abstains again.
+        outcome = evaluator.evaluate_local(board, request())
+        assert outcome.unreachable == ["alice"]
+
+    def test_stale_code_rejected(self):
+        sim = Simulator()
+        board, evaluator, service = make_2fa_board(sim)
+        stale = service.expected_code(sim.now)
+        sim.now += 2 * TwoFactorApprovalService.CODE_WINDOW_SECONDS
+        service.present_code(stale)
+        outcome = evaluator.evaluate_local(board, request())
+        assert outcome.unreachable == ["alice"]
+
+    def test_wrong_code_rejected(self):
+        sim = Simulator()
+        board, evaluator, service = make_2fa_board(sim)
+        service.present_code(b"\x00" * 6)
+        outcome = evaluator.evaluate_local(board, request())
+        assert outcome.unreachable == ["alice"]
+
+    def test_stolen_signing_key_alone_cannot_vote(self):
+        """The point of the second factor: the signing key without the
+        device produces no countable verdict — the attacker can forge a
+        signature, but forged verdicts require the *service* flow, and the
+        service abstains without the code."""
+        sim = Simulator()
+        board, evaluator, service = make_2fa_board(sim)
+        # Attacker has the key (can sign), but the member's approval
+        # service holds the decision path and abstains without the code.
+        outcome = evaluator.evaluate_local(board, request())
+        assert not outcome.approvals
+        with pytest.raises(ApprovalDeniedError):
+            BoardEvaluator.enforce(board, request(), outcome)
+
+    def test_code_changes_across_windows(self):
+        sim = Simulator()
+        _board, _evaluator, service = make_2fa_board(sim)
+        now_code = service.expected_code(0.0)
+        later_code = service.expected_code(
+            TwoFactorApprovalService.CODE_WINDOW_SECONDS + 1)
+        assert now_code != later_code

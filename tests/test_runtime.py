@@ -1,0 +1,235 @@
+"""Tests for the SCONE-like runtime: launch, FS lifecycle, rollback story,
+startup cost model."""
+
+import pytest
+
+from repro import calibration
+from repro.errors import (
+    MrenclaveNotPermittedError,
+    QuoteError,
+    StrictModeError,
+    TagMismatchError,
+)
+from repro.fs.blockstore import BlockStore
+from repro.runtime.scone import SconeRuntime
+from repro.runtime.startup import (
+    AttestationVariant,
+    StartupModel,
+    attestation_phase_latencies,
+)
+from repro.runtime.syscall import SyscallProfile, mode_slowdown
+from repro.sim.core import Simulator
+from repro.sim.workload import run_closed_loop
+from repro.tee.enclave import ExecutionMode
+from repro.tee.image import build_image
+from repro.crypto.primitives import DeterministicRandom
+
+from tests.core.conftest import Deployment
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(seed=b"runtime-tests")
+
+
+@pytest.fixture()
+def runtime(deployment):
+    return SconeRuntime(deployment.platform, deployment.palaemon,
+                        DeterministicRandom(b"runtime"))
+
+
+class TestLaunch:
+    def test_full_launch_delivers_config(self, deployment, runtime):
+        deployment.client.create_policy(
+            deployment.palaemon,
+            deployment.make_policy(injection_files={
+                "/app/config.ini": b"key=$$PALAEMON$API_KEY$$"}))
+        app = runtime.launch(deployment.app_image, "ml_policy", "ml_app")
+        assert app.argv() == ["python", "/app.py"]
+        assert app.getenv("MODE") == "production"
+        assert b"$$PALAEMON$" not in app.read_file("/app/config.ini")
+
+    def test_wrong_binary_refused(self, deployment, runtime):
+        deployment.client.create_policy(deployment.palaemon,
+                                        deployment.make_policy())
+        with pytest.raises(MrenclaveNotPermittedError):
+            runtime.launch(build_image("ml-engine", seed=b"tampered"),
+                           "ml_policy", "ml_app")
+
+    def test_non_hardware_mode_cannot_attest(self, deployment, runtime):
+        deployment.client.create_policy(deployment.palaemon,
+                                        deployment.make_policy())
+        with pytest.raises(QuoteError):
+            runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                           mode=ExecutionMode.EMULATED)
+
+
+class TestApplicationLifecycle:
+    def make_app(self, deployment, runtime, volume=None, strict=False):
+        name = "ml_policy"
+        if name not in deployment.palaemon.list_policies():
+            deployment.client.create_policy(
+                deployment.palaemon,
+                deployment.make_policy(strict_mode=strict))
+        return runtime.launch(deployment.app_image, name, "ml_app",
+                              volume=volume)
+
+    def test_files_round_trip_and_tags_flow(self, deployment, runtime):
+        app = self.make_app(deployment, runtime)
+        app.write_file("/output/model.bin", b"weights")
+        app.sync()
+        assert deployment.palaemon.get_tag_instant(
+            "ml_policy", "ml_app") == app.fs.tag()
+
+    def test_restart_resumes_from_pushed_tag(self, deployment, runtime):
+        volume = BlockStore("shared-volume")
+        app = self.make_app(deployment, runtime, volume=volume)
+        app.write_file("/state", b"epoch-1")
+        app.exit_cleanly()
+        # Second run on the same volume: tag verification passes.
+        again = runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                               volume=volume)
+        assert again.read_file("/state") == b"epoch-1"
+
+    def test_rollback_attack_blocks_restart(self, deployment, runtime):
+        """End-to-end §III-D: attacker restores the volume; launch fails."""
+        volume = BlockStore("attacked-volume")
+        app = self.make_app(deployment, runtime, volume=volume)
+        app.write_file("/state", b"run-1")
+        app.exit_cleanly()
+        checkpoint = volume.snapshot()
+
+        second = runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                                volume=volume)
+        second.write_file("/state", b"run-2")
+        second.exit_cleanly()
+
+        volume.restore(checkpoint)  # the rollback attack
+        with pytest.raises(TagMismatchError):
+            runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                           volume=volume)
+
+    def test_strict_mode_crash_then_restart_refused(self, deployment,
+                                                    runtime):
+        volume = BlockStore("strict-volume")
+        app = self.make_app(deployment, runtime, volume=volume, strict=True)
+        app.write_file("/state", b"working")
+        app.crash()  # no clean-exit push
+        with pytest.raises(StrictModeError):
+            runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                           volume=volume)
+
+    def test_injected_files_never_touch_volume(self, deployment, runtime):
+        deployment.client.create_policy(
+            deployment.palaemon,
+            deployment.make_policy(injection_files={
+                "/etc/secret.conf": b"k=$$PALAEMON$API_KEY$$"}))
+        volume = BlockStore("clean-volume")
+        app = runtime.launch(deployment.app_image, "ml_policy", "ml_app",
+                             volume=volume)
+        secret = app.config.secrets["API_KEY"]
+        app.read_file("/etc/secret.conf")
+        app.exit_cleanly()
+        assert volume.scan_for(secret) == []
+
+
+class TestStartupModel:
+    def run_variant(self, variant, concurrency=8, duration=2.0):
+        sim = Simulator()
+        model = StartupModel(sim)
+
+        def factory(_request_id):
+            yield sim.process(model.start_one(variant))
+
+        return run_closed_loop(sim, concurrency, factory, duration)
+
+    def test_native_rate(self):
+        point = self.run_variant(AttestationVariant.NATIVE)
+        assert point.achieved_rate == pytest.approx(3700, rel=0.1)
+
+    def test_sgx_only_capped_by_driver_lock(self):
+        point = self.run_variant(AttestationVariant.SGX_ONLY, concurrency=16)
+        assert point.achieved_rate == pytest.approx(100, rel=0.1)
+
+    def test_sgx_only_does_not_scale_with_parallelism(self):
+        low = self.run_variant(AttestationVariant.SGX_ONLY, concurrency=4)
+        high = self.run_variant(AttestationVariant.SGX_ONLY, concurrency=32)
+        assert high.achieved_rate < low.achieved_rate * 1.25
+
+    def test_palaemon_rate_and_latency(self):
+        point = self.run_variant(AttestationVariant.PALAEMON, concurrency=2)
+        assert point.achieved_rate == pytest.approx(
+            calibration.PALAEMON_ATTESTED_START_RATE, rel=0.35)
+        # Low-concurrency latency is the ~15 ms end-to-end attestation.
+        assert 0.010 <= point.latency.mean <= 0.040
+
+    def test_ias_slow_with_high_latency(self):
+        point = self.run_variant(AttestationVariant.IAS, concurrency=60,
+                                 duration=5.0)
+        assert point.achieved_rate == pytest.approx(
+            calibration.IAS_ATTESTED_START_RATE, rel=0.5)
+        assert point.latency.mean > 0.25
+
+    def test_ordering_native_palaemon_ias(self):
+        native = self.run_variant(AttestationVariant.NATIVE)
+        sgx = self.run_variant(AttestationVariant.SGX_ONLY)
+        palaemon = self.run_variant(AttestationVariant.PALAEMON)
+        ias = self.run_variant(AttestationVariant.IAS, concurrency=60,
+                               duration=5.0)
+        assert (native.achieved_rate > sgx.achieved_rate
+                > palaemon.achieved_rate > ias.achieved_rate)
+
+
+class TestAttestationPhases:
+    def test_palaemon_total_around_15ms(self):
+        phases = attestation_phase_latencies(AttestationVariant.PALAEMON)
+        total = sum(phases.values())
+        assert 0.010 <= total <= 0.020
+
+    def test_ias_order_of_magnitude_slower(self):
+        palaemon = sum(attestation_phase_latencies(
+            AttestationVariant.PALAEMON).values())
+        ias = sum(attestation_phase_latencies(
+            AttestationVariant.IAS).values())
+        assert ias / palaemon >= 10
+
+    def test_wait_dominates_ias(self):
+        phases = attestation_phase_latencies(AttestationVariant.IAS)
+        assert phases["wait_confirmation"] > sum(
+            v for k, v in phases.items() if k != "wait_confirmation")
+
+    def test_native_has_no_phases(self):
+        with pytest.raises(ValueError):
+            attestation_phase_latencies(AttestationVariant.NATIVE)
+
+
+class TestSyscallProfile:
+    def test_native_pays_host_time_only(self):
+        profile = SyscallProfile(syscalls=10, copied_bytes=4096,
+                                 host_seconds=1e-6)
+        assert profile.cost_seconds(
+            ExecutionMode.NATIVE,
+            calibration.MICROCODE_PRE_SPECTRE) == 1e-6
+
+    def test_hw_costs_more_than_emu(self):
+        profile = SyscallProfile(syscalls=10, copied_bytes=4096)
+        hw = profile.cost_seconds(ExecutionMode.HARDWARE,
+                                  calibration.MICROCODE_PRE_SPECTRE)
+        emu = profile.cost_seconds(ExecutionMode.EMULATED,
+                                   calibration.MICROCODE_PRE_SPECTRE)
+        assert hw > emu > 0
+
+    def test_microcode_penalty(self):
+        profile = SyscallProfile(syscalls=100)
+        pre = profile.cost_seconds(ExecutionMode.HARDWARE,
+                                   calibration.MICROCODE_PRE_SPECTRE)
+        post = profile.cost_seconds(ExecutionMode.HARDWARE,
+                                    calibration.MICROCODE_POST_FORESHADOW)
+        assert post > pre * 2
+
+    def test_mode_slowdown_above_one(self):
+        profile = SyscallProfile(syscalls=5, host_seconds=1e-6)
+        slowdown = mode_slowdown(profile, cpu_seconds=10e-6,
+                                 mode=ExecutionMode.HARDWARE,
+                                 microcode=calibration.MICROCODE_POST_FORESHADOW)
+        assert slowdown > 1.0

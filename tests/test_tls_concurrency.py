@@ -1,0 +1,112 @@
+"""Concurrency tests for the TLS server: many clients, one server."""
+
+import pytest
+
+from repro.crypto.primitives import DeterministicRandom
+from repro.sim.core import Simulator
+from repro.sim.network import Network, Site
+from repro.tls.channel import TLSConnection, TLSServer
+
+
+def make_stack(handler):
+    sim = Simulator()
+    rng = DeterministicRandom(b"tls-concurrency")
+    net = Network(sim, rng.fork(b"net"))
+    endpoint = net.endpoint("server", Site.SAME_RACK)
+    server = TLSServer(net, endpoint, handler)
+    server.start()
+    return sim, rng, net, server
+
+
+class TestConcurrentClients:
+    def test_many_clients_isolated_sessions(self):
+        """Twenty clients with distinct sessions each get their own reply,
+        decryptable only under their own session keys."""
+        sim, rng, net, server = make_stack(
+            lambda request, _session: {"echo": request["client"]})
+        replies = {}
+
+        def client_proc(index):
+            connection = yield sim.process(TLSConnection.connect(
+                net, f"client-{index}", Site.SAME_DC, server.endpoint,
+                rng.fork(b"client%d" % index)))
+            server.register_session(connection.session)
+            reply = yield sim.process(connection.request(
+                {"client": index}))
+            replies[index] = reply
+
+        def main():
+            yield sim.all_of([sim.process(client_proc(i))
+                              for i in range(20)])
+
+        sim.run_process(main())
+        server.stop()
+        assert replies == {i: {"echo": i} for i in range(20)}
+        assert server.requests_served == 20
+
+    def test_sessions_cryptographically_isolated(self):
+        """One client's sealed request cannot be opened by another's keys."""
+        from repro.errors import IntegrityError
+
+        sim, rng, net, server = make_stack(lambda request, _s: "ok")
+
+        def main():
+            a = yield sim.process(TLSConnection.connect(
+                net, "client-a", Site.SAME_RACK, server.endpoint,
+                rng.fork(b"a")))
+            b = yield sim.process(TLSConnection.connect(
+                net, "client-b", Site.SAME_RACK, server.endpoint,
+                rng.fork(b"b")))
+            return a, b
+
+        a, b = sim.run_process(main())
+        server.stop()
+        sealed_by_a = a.client_channel.seal({"secret": 1})
+        with pytest.raises(IntegrityError):
+            b.server_channel.open(sealed_by_a)
+
+    def test_serialized_handler_queues_fairly(self):
+        """A slow generator handler serves clients in arrival order."""
+        sim, rng, net, _ = make_stack(lambda r, s: None)
+        order = []
+
+        def slow_handler(request, _session):
+            yield sim.timeout(0.010)
+            order.append(request["client"])
+            return request["client"]
+
+        endpoint = net.endpoint("slow-server", Site.SAME_RACK)
+        server = TLSServer(net, endpoint, slow_handler)
+        server.start()
+
+        def client_proc(index):
+            connection = yield sim.process(TLSConnection.connect(
+                net, f"c{index}", Site.SAME_RACK, endpoint,
+                rng.fork(b"cc%d" % index)))
+            server.register_session(connection.session)
+            yield sim.timeout(index * 0.001)  # staggered arrivals
+            reply = yield sim.process(connection.request({"client": index}))
+            assert reply == index
+
+        def main():
+            yield sim.all_of([sim.process(client_proc(i)) for i in range(5)])
+
+        sim.run_process(main())
+        server.stop()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_double_start_is_idempotent(self):
+        sim, rng, net, server = make_stack(lambda r, s: "ok")
+        server.start()  # second start must not spawn a second accept loop
+
+        def main():
+            connection = yield sim.process(TLSConnection.connect(
+                net, "client", Site.SAME_RACK, server.endpoint,
+                rng.fork(b"c")))
+            server.register_session(connection.session)
+            reply = yield sim.process(connection.request("ping"))
+            return reply
+
+        assert sim.run_process(main()) == "ok"
+        server.stop()
+        assert server.requests_served == 1

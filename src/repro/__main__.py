@@ -10,6 +10,11 @@ Commands
     pytest-benchmark, printing the paper-style tables.
 ``examples``
     List the runnable example scripts.
+``observe``
+    Run a small instrumented workload and print the telemetry: the metrics
+    snapshot (Prometheus-style), the trace summary, and the audit-chain
+    verification result. ``--seed`` varies the run; the same seed prints
+    identical output.
 """
 
 from __future__ import annotations
@@ -83,6 +88,17 @@ def cmd_bench(ids: list) -> int:
     return subprocess.call(command, cwd=_repo_root())
 
 
+def cmd_observe(seed: str = "observe") -> int:
+    """Run the telemetry demo workload and print the report."""
+    from repro.obs.demo import print_observe_report, run_observe_workload
+
+    if not seed:
+        print("observe: --seed must be non-empty", file=sys.stderr)
+        return 2
+    service = run_observe_workload(seed.encode())
+    return 0 if print_observe_report(service) else 1
+
+
 def cmd_examples() -> int:
     examples_dir = _repo_root() / "examples"
     for script in sorted(examples_dir.glob("*.py")):
@@ -105,11 +121,17 @@ def main(argv=None) -> int:
     bench.add_argument("ids", nargs="+",
                        help="experiment ids (see `list`) or `all`")
     subparsers.add_parser("examples", help="list runnable examples")
+    observe = subparsers.add_parser(
+        "observe", help="run a workload, print telemetry + audit verdict")
+    observe.add_argument("--seed", default="observe",
+                         help="workload seed (same seed, same output)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "bench":
         return cmd_bench(args.ids)
+    if args.command == "observe":
+        return cmd_observe(args.seed)
     return cmd_examples()
 
 

@@ -14,6 +14,7 @@ from typing import Dict, Sequence, Union
 
 from repro.benchlib.harness import ExperimentResult
 from repro.benchlib.tables import PaperComparison
+from repro.sim.metrics import summary_to_dict
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
@@ -24,15 +25,7 @@ def result_to_dict(result: ExperimentResult) -> dict:
             {
                 "offered_rate": point.offered_rate,
                 "achieved_rate": point.achieved_rate,
-                "latency": {
-                    "count": point.latency.count,
-                    "mean": point.latency.mean,
-                    "p50": point.latency.p50,
-                    "p95": point.latency.p95,
-                    "p99": point.latency.p99,
-                    "min": point.latency.minimum,
-                    "max": point.latency.maximum,
-                },
+                "latency": summary_to_dict(point.latency),
             }
             for point in result.points
         ],

@@ -25,6 +25,7 @@ from repro.crypto.certificates import Certificate
 from repro.crypto.primitives import sha256
 from repro.crypto.signatures import KeyPair, verify_signature
 from repro.errors import ApprovalDeniedError, SignatureError, VetoError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.core import Event, Simulator
 from repro.sim.network import Site, rtt_between
 from repro.tls.handshake import handshake_latency
@@ -186,12 +187,20 @@ class ApprovalOutcome:
 
 
 class BoardEvaluator:
-    """Collects member verdicts and applies the quorum/veto rule."""
+    """Collects member verdicts and applies the quorum/veto rule.
+
+    Every vote cast in a round is counted into the evaluator's telemetry
+    (``palaemon_board_votes_total`` by verdict class); a
+    :class:`~repro.core.service.PalaemonService` sharing its telemetry with
+    its evaluator therefore observes the full quorum traffic.
+    """
 
     def __init__(self, simulator: Simulator,
-                 services: Dict[str, ApprovalService]) -> None:
+                 services: Dict[str, ApprovalService],
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.simulator = simulator
         self._services = services
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def service_for(self, member: PolicyBoardMember) -> ApprovalService:
         try:
@@ -216,6 +225,7 @@ class BoardEvaluator:
                 outcome.unreachable.append(member.name)
                 continue
             self._classify(member, verdict, outcome)
+        self._record_round(outcome)
         return outcome
 
     def evaluate(self, board: BoardSpec, request: AccessRequest,
@@ -234,13 +244,30 @@ class BoardEvaluator:
             waits.append(self.simulator.process(
                 service.decide(request, caller_site),
                 name=f"approval-{member.name}"))
-        verdicts = yield self.simulator.all_of(waits)
+        with self.telemetry.span("board.evaluate",
+                                 policy=request.policy_name,
+                                 operation=request.operation):
+            started = self.simulator.now
+            verdicts = yield self.simulator.all_of(waits)
+            self.telemetry.observe("palaemon_board_round_seconds",
+                                   self.simulator.now - started)
         for member, verdict in zip(members, verdicts):
             if verdict is None:
                 outcome.unreachable.append(member.name)
             else:
                 self._classify(member, verdict, outcome)
+        self._record_round(outcome)
         return outcome
+
+    def _record_round(self, outcome: ApprovalOutcome) -> None:
+        """Count the round's votes by verdict class."""
+        for vote, entries in (("approve", outcome.approvals),
+                              ("reject", outcome.rejections),
+                              ("invalid", outcome.invalid),
+                              ("unreachable", outcome.unreachable)):
+            if entries:
+                self.telemetry.inc("palaemon_board_votes_total",
+                                   amount=len(entries), vote=vote)
 
     @staticmethod
     def _classify(member: PolicyBoardMember, verdict: Verdict,

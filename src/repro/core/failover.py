@@ -87,12 +87,20 @@ class FailoverCoordinator:
         self._sequence += 1
         update = StateUpdate(sequence=self._sequence, table=table, key=key,
                              value=value)
-        self.primary.store.put(table, key, value)
-        self.primary.store.commit_instant()
-        yield self.simulator.timeout(
-            rtt_between(self.primary_site, self.backup_site))
+        telemetry = self.primary.telemetry
+        with telemetry.span("failover.replicate", table=table, key=key):
+            started = self.simulator.now
+            self.primary.store.put(table, key, value)
+            self.primary.store.commit_instant()
+            yield self.simulator.timeout(
+                rtt_between(self.primary_site, self.backup_site))
+            telemetry.observe("palaemon_failover_replication_seconds",
+                              self.simulator.now - started)
         self._replica.updates.append(update)
         self._replica.applied_sequence = update.sequence
+        telemetry.inc("palaemon_failover_replications_total")
+        telemetry.gauge("palaemon_failover_replication_lag",
+                        self.replication_lag())
         return update.sequence
 
     # -- fail-over -----------------------------------------------------------
@@ -101,18 +109,29 @@ class FailoverCoordinator:
         """The primary dies uncleanly: its counter protocol fences it."""
         self.primary.crash()
         self.fenced.append(self.primary.name)
+        self.primary.telemetry.inc("palaemon_failover_fences_total")
+        self.primary.telemetry.audit("failover.fence",
+                                     instance=self.primary.name,
+                                     epoch=self.epoch)
 
     def promote_backup(self) -> Generator[Event, Any, PalaemonService]:
         """Operator-driven promotion: replay, start, bump the epoch."""
         if self.primary.running:
             raise PolicyError("cannot promote while the primary is serving")
-        for update in self._replica.updates:
-            self.backup.store.put(update.table, update.key, update.value)
-        self.backup.store.commit_instant()
-        if not self.backup.running:
-            yield self.simulator.process(self.backup.start())
-        self.epoch += 1
-        self.active = self.backup
+        with self.backup.telemetry.span("failover.promote",
+                                        backup=self.backup.name):
+            for update in self._replica.updates:
+                self.backup.store.put(update.table, update.key, update.value)
+            self.backup.store.commit_instant()
+            if not self.backup.running:
+                yield self.simulator.process(self.backup.start())
+            self.epoch += 1
+            self.active = self.backup
+        self.backup.telemetry.inc("palaemon_failover_promotions_total")
+        self.backup.telemetry.audit(
+            "failover.promote", backup=self.backup.name, epoch=self.epoch,
+            replayed=len(self._replica.updates),
+            applied_sequence=self._replica.applied_sequence)
         return self.backup
 
     def verify_primary_fenced(self) -> bool:

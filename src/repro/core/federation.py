@@ -74,6 +74,13 @@ class FederatedInstance:
             handshake_latency(self.site, other.site))
         self._links[other.name] = PeerLink(peer=other, established=True)
         other._links[self.name] = PeerLink(peer=self, established=True)
+        for side, counterpart in ((self, other), (other, self)):
+            side.service.telemetry.inc("palaemon_federation_peers_total")
+            side.service.telemetry.gauge("palaemon_federation_peer_links",
+                                         len(side._links))
+            side.service.telemetry.audit("federation.peer",
+                                         peer=counterpart.name,
+                                         site=counterpart.site.value)
 
     def peers(self) -> List[str]:
         return sorted(self._links)
@@ -94,12 +101,21 @@ class FederatedInstance:
         link = self._links.get(peer_name)
         if link is None or not link.established:
             raise AttestationError(f"no attested link to {peer_name!r}")
-        round_trip = rtt_between(self.site, link.peer.site)
-        yield self.simulator.timeout(round_trip)
-        link.requests += 1
-        return link.peer._serve_secret_request(policy_name,
-                                               requesting_policy,
-                                               secret_names)
+        telemetry = self.service.telemetry
+        with telemetry.span("federation.fetch", peer=peer_name,
+                            policy=policy_name):
+            round_trip = rtt_between(self.site, link.peer.site)
+            yield self.simulator.timeout(round_trip)
+            link.requests += 1
+            secrets = link.peer._serve_secret_request(policy_name,
+                                                      requesting_policy,
+                                                      secret_names)
+        telemetry.inc("palaemon_federation_fetches_total")
+        telemetry.audit("federation.fetch", peer=peer_name,
+                        policy=policy_name,
+                        requesting_policy=requesting_policy,
+                        secrets=len(secrets))
+        return secrets
 
     def _serve_secret_request(self, policy_name: str, requesting_policy: str,
                               secret_names: List[str]) -> Dict[str, bytes]:
@@ -111,10 +127,18 @@ class FederatedInstance:
         result: Dict[str, bytes] = {}
         for name in secret_names:
             if not policy.exports_secret_to(name, requesting_policy):
+                self.service.telemetry.audit(
+                    "federation.serve", policy=policy_name,
+                    requesting_policy=requesting_policy, secret=name,
+                    result="denied")
                 raise AccessDeniedError(
                     f"policy {policy_name!r} does not export {name!r} to "
                     f"{requesting_policy!r}")
             result[name] = secrets[name].value
+        self.service.telemetry.audit(
+            "federation.serve", policy=policy_name,
+            requesting_policy=requesting_policy, secrets=len(result),
+            result="served")
         return result
 
 

@@ -14,10 +14,17 @@ Request shape (a dict, playing the role of a JSON body):
 Routes: ``policy.create`` / ``policy.read`` / ``policy.update`` /
 ``policy.delete`` / ``policy.list``, ``app.attest``, ``tag.get`` /
 ``tag.update``, ``instance.describe``.
+
+Failures never raise through the TLS session: every handler error becomes
+a structured reply ``{"error": message, "kind": ExceptionClass, "code":
+snake_case_code}`` — including programming errors inside a handler, which
+map to ``code="internal"`` — and is counted in the instance's
+``palaemon_rest_errors_total`` metric by route and code.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, Generator
 
 from repro.core.client import PalaemonClient
@@ -51,14 +58,34 @@ class PalaemonRestServer:
     # -- dispatch ----------------------------------------------------------
 
     def _handle(self, request: Dict[str, Any], session: TLSSession) -> Any:
+        telemetry = self.service.telemetry
         route = request.get("route", "")
         handler = getattr(self, "_route_" + route.replace(".", "_"), None)
         if handler is None:
-            return {"error": f"unknown route {route!r}"}
-        try:
-            return {"ok": handler(request, session)}
-        except ReproError as exc:
-            return {"error": str(exc), "kind": type(exc).__name__}
+            telemetry.inc("palaemon_rest_requests_total", route="unknown")
+            telemetry.inc("palaemon_rest_errors_total", route="unknown",
+                          code="unknown_route")
+            return {"error": f"unknown route {route!r}",
+                    "kind": "ReproError", "code": "unknown_route"}
+        telemetry.inc("palaemon_rest_requests_total", route=route)
+        started = self.service.simulator.now
+        with telemetry.span("rest." + route):
+            try:
+                reply = {"ok": handler(request, session)}
+            except ReproError as exc:
+                code = error_code(exc)
+                telemetry.inc("palaemon_rest_errors_total", route=route,
+                              code=code)
+                reply = {"error": str(exc), "kind": type(exc).__name__,
+                         "code": code}
+            except Exception as exc:  # noqa: BLE001 - never raise through TLS
+                telemetry.inc("palaemon_rest_errors_total", route=route,
+                              code="internal")
+                reply = {"error": f"{type(exc).__name__}: {exc}",
+                         "kind": "InternalError", "code": "internal"}
+        telemetry.observe("palaemon_rest_route_seconds",
+                          self.service.simulator.now - started, route=route)
+        return reply
 
     @staticmethod
     def _client_certificate(request: Dict[str, Any], session: TLSSession):
@@ -124,8 +151,13 @@ class PalaemonRestServer:
 class PalaemonRestClient:
     """Client-side: TLS connection + typed request helpers."""
 
-    def __init__(self, connection: TLSConnection) -> None:
+    def __init__(self, connection: TLSConnection, telemetry=None) -> None:
         self.connection = connection
+        #: Optional telemetry for client-observed latencies; defaults to
+        #: the no-op sink so benchmarks pay nothing.
+        from repro.obs.telemetry import NULL_TELEMETRY
+
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @classmethod
     def connect(cls, network: Network, client: PalaemonClient,
@@ -137,7 +169,8 @@ class PalaemonRestClient:
             network, f"{client.name}-conn", client_site, server.endpoint,
             rng, server_certificate=server.service.certificate,
             trusted_root=trusted_root,
-            client_certificate=client.certificate))
+            client_certificate=client.certificate,
+            telemetry=server.service.telemetry))
         server.register_session(connection.session)
         return cls(connection)
 
@@ -145,18 +178,36 @@ class PalaemonRestClient:
         """One request/response; raises on error replies."""
         payload = {"route": route}
         payload.update(fields)
-        reply = yield self.connection.network.simulator.process(
-            self.connection.request(payload))
+        simulator = self.connection.network.simulator
+        started = simulator.now
+        reply = yield simulator.process(self.connection.request(payload))
+        self.telemetry.observe("palaemon_rest_client_seconds",
+                               simulator.now - started, route=route)
         if "error" in reply:
             raise RemoteError(reply.get("kind", "ReproError"),
-                              reply["error"])
+                              reply["error"], code=reply.get("code"))
         return reply["ok"]
+
+
+def error_code(exc: BaseException) -> str:
+    """Map an exception class to a stable snake_case error code.
+
+    ``PolicyNotFoundError`` -> ``policy_not_found``; anything that is not a
+    :class:`ReproError` is ``internal``.
+    """
+    if not isinstance(exc, ReproError):
+        return "internal"
+    name = type(exc).__name__
+    if name.endswith("Error"):
+        name = name[:-len("Error")]
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
 
 
 class RemoteError(ReproError):
     """An error reply from the REST front-end."""
 
-    def __init__(self, kind: str, message: str) -> None:
+    def __init__(self, kind: str, message: str, code: str = None) -> None:
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         self.message = message
+        self.code = code or "error"

@@ -23,21 +23,32 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from typing import Optional
+
 from repro.core.store import PolicyStore
 from repro.errors import ConcurrentInstanceError, StaleDatabaseError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.core import Event
 from repro.tee.counters import PlatformCounterService
 
 
 class RollbackGuard:
-    """Binds a :class:`PolicyStore` to a platform monotonic counter."""
+    """Binds a :class:`PolicyStore` to a platform monotonic counter.
+
+    Every counter transition (the two touches per instance lifetime, plus
+    every refusal) lands in the audit log: a Byzantine operator who rolls
+    the database back or clones an instance leaves a chained record of the
+    mismatched (v, c) pair they triggered.
+    """
 
     def __init__(self, store: PolicyStore,
-                 counters: PlatformCounterService, counter_id: str) -> None:
+                 counters: PlatformCounterService, counter_id: str,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.store = store
         self.counters = counters
         self.counter_id = counter_id
         self.active = False
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def ensure_counter(self) -> None:
         """Create the hardware counter on first installation."""
@@ -48,28 +59,38 @@ class RollbackGuard:
 
     def startup(self) -> Generator[Event, Any, None]:
         """Steps 1-2 of the protocol; raises on rollback or cloning."""
-        counter_value = self.counters.read(self.counter_id)
-        version = self.store.version
-        if version != counter_value:
-            raise StaleDatabaseError(
-                f"database version {version} != monotonic counter "
-                f"{counter_value}: rollback or unclean shutdown detected")
-        new_value = yield self.store.simulator.process(
-            self.counters.increment(self.counter_id))
-        if new_value != version + 1:
-            raise ConcurrentInstanceError(
-                f"counter jumped to {new_value}, expected {version + 1}: "
-                f"another instance is running")
-        self.active = True
+        with self.telemetry.span("guard.startup", counter=self.counter_id):
+            counter_value = self.counters.read(self.counter_id)
+            version = self.store.version
+            if version != counter_value:
+                self._refuse("stale_database", version, counter_value)
+                raise StaleDatabaseError(
+                    f"database version {version} != monotonic counter "
+                    f"{counter_value}: rollback or unclean shutdown detected")
+            new_value = yield self.store.simulator.process(
+                self.counters.increment(self.counter_id))
+            self._record_increment(counter_value, new_value)
+            if new_value != version + 1:
+                self._refuse("concurrent_instance", version, new_value)
+                raise ConcurrentInstanceError(
+                    f"counter jumped to {new_value}, expected {version + 1}: "
+                    f"another instance is running")
+            self.active = True
+        self.telemetry.audit("guard.startup", counter=self.counter_id,
+                             version=version, counter_value=new_value)
 
     def shutdown(self) -> Generator[Event, Any, None]:
         """Step 3: reconcile the version with the counter and commit."""
         if not self.active:
             return
-        counter_value = self.counters.read(self.counter_id)
-        self.store.set_version(counter_value)
-        yield self.store.simulator.process(self.store.commit())
-        self.active = False
+        with self.telemetry.span("guard.shutdown", counter=self.counter_id):
+            counter_value = self.counters.read(self.counter_id)
+            self.store.set_version(counter_value)
+            yield self.store.simulator.process(self.store.commit())
+            self.active = False
+        self.telemetry.audit("guard.shutdown", counter=self.counter_id,
+                             version=counter_value,
+                             counter_value=counter_value)
 
     def crash(self) -> None:
         """Model a crash: the version update never happens.
@@ -79,3 +100,21 @@ class RollbackGuard:
         availability (the paper's crash-as-attack stance, §IV-D).
         """
         self.active = False
+        self.telemetry.audit("guard.crash", counter=self.counter_id,
+                             version=self.store.version,
+                             counter_value=self.counters.read(self.counter_id))
+
+    # -- telemetry helpers -------------------------------------------------
+
+    def _record_increment(self, old_value: int, new_value: int) -> None:
+        self.telemetry.inc("palaemon_counter_increments_total")
+        self.telemetry.gauge("palaemon_counter_value", new_value,
+                             counter=self.counter_id)
+        self.telemetry.audit("counter.increment", counter=self.counter_id,
+                             old_value=old_value, new_value=new_value)
+
+    def _refuse(self, reason: str, version: int, counter_value: int) -> None:
+        self.telemetry.inc("palaemon_rollback_refusals_total", reason=reason)
+        self.telemetry.audit("guard.refused", counter=self.counter_id,
+                             reason=reason, version=version,
+                             counter_value=counter_value)

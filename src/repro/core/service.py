@@ -35,9 +35,11 @@ from repro.errors import (
     PolicyError,
     PolicyExistsError,
     PolicyNotFoundError,
+    ReproError,
     StrictModeError,
 )
 from repro.fs.blockstore import BlockStore
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.core import Event, Simulator
 from repro.tee.enclave import Enclave
 from repro.tee.image import EnclaveImage, build_image
@@ -99,7 +101,8 @@ class PalaemonService:
                  rng: DeterministicRandom,
                  board_evaluator: Optional[BoardEvaluator] = None,
                  version: str = "1.0",
-                 name: str = "palaemon-1") -> None:
+                 name: str = "palaemon-1",
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.platform = platform
         self.simulator: Simulator = platform.simulator
         self.name = name
@@ -111,6 +114,14 @@ class PalaemonService:
         self.certificate: Optional[Certificate] = None
         self.running = False
         self.draining = False
+
+        #: In-enclave telemetry: metrics, spans, and the hash-chained audit
+        #: log (docs/OBSERVABILITY.md). Pass ``NULL_TELEMETRY`` to disable.
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.for_simulator(self.simulator))
+        if (board_evaluator is not None
+                and board_evaluator.telemetry is NULL_TELEMETRY):
+            board_evaluator.telemetry = self.telemetry
 
         # Identity: restored from sealed storage across restarts, created on
         # first boot (§IV-B).
@@ -129,7 +140,8 @@ class PalaemonService:
         self.store = PolicyStore(self.simulator, store, db_key,
                                  rng.fork(b"store"))
         self.rollback_guard = RollbackGuard(self.store, platform.counters,
-                                            f"{name}:{self.COUNTER_ID}")
+                                            f"{name}:{self.COUNTER_ID}",
+                                            telemetry=self.telemetry)
         self.rollback_guard.ensure_counter()
 
     # -- identity & lifecycle ------------------------------------------------
@@ -186,8 +198,30 @@ class PalaemonService:
             requester_fingerprint=requester.fingerprint(),
             change_digest=change_digest,
             nonce=self._rng.bytes(16))
-        outcome = self.board_evaluator.evaluate_local(policy.board, request)
-        BoardEvaluator.enforce(policy.board, request, outcome)
+        with self.telemetry.span("board.round", policy=policy.name,
+                                 operation=operation):
+            outcome = self.board_evaluator.evaluate_local(policy.board,
+                                                          request)
+            try:
+                BoardEvaluator.enforce(policy.board, request, outcome)
+            except PolicyError as exc:
+                self.telemetry.inc("palaemon_board_rounds_total",
+                                   decision="denied")
+                self.telemetry.audit(
+                    "board.round", policy=policy.name, operation=operation,
+                    decision="denied", reason=type(exc).__name__,
+                    approvals=len(outcome.approvals),
+                    rejections=len(outcome.rejections),
+                    invalid=len(outcome.invalid),
+                    unreachable=len(outcome.unreachable))
+                raise
+        self.telemetry.inc("palaemon_board_rounds_total", decision="approved")
+        self.telemetry.audit(
+            "board.round", policy=policy.name, operation=operation,
+            decision="approved", approvals=len(outcome.approvals),
+            rejections=len(outcome.rejections),
+            invalid=len(outcome.invalid),
+            unreachable=len(outcome.unreachable))
 
     # -- policy CRUD (§III-C, §IV-E) ------------------------------------------
 
@@ -202,6 +236,17 @@ class PalaemonService:
         policy.validate()
         if (("policies", policy.name)) in self.store:
             raise PolicyExistsError(f"policy {policy.name!r} already exists")
+        with self.telemetry.span("policy.create", policy=policy.name):
+            self._create_policy(policy, client_certificate)
+        self.telemetry.inc("palaemon_policy_ops_total", op="create")
+        self.telemetry.audit(
+            "policy.create", policy=policy.name,
+            requester=client_certificate.fingerprint(),
+            digest=_policy_digest(policy),
+            services=len(policy.services), secrets=len(policy.secrets))
+
+    def _create_policy(self, policy: SecurityPolicy,
+                       client_certificate: Certificate) -> None:
         self._approve(policy, "create", client_certificate,
                       change_digest=_policy_digest(policy))
         secrets = materialize_all(
@@ -240,13 +285,28 @@ class PalaemonService:
     def read_policy(self, policy_name: str,
                     client_certificate: Certificate) -> SecurityPolicy:
         self._check_serving()
-        return self._authorize(policy_name, "read", client_certificate)
+        with self.telemetry.span("policy.read", policy=policy_name):
+            policy = self._authorize(policy_name, "read", client_certificate)
+        self.telemetry.inc("palaemon_policy_ops_total", op="read")
+        self.telemetry.audit("policy.read", policy=policy_name,
+                             requester=client_certificate.fingerprint())
+        return policy
 
     def update_policy(self, updated: SecurityPolicy,
                       client_certificate: Certificate) -> None:
         """Replace a policy; new secrets are materialized, existing kept."""
         self._check_serving()
         updated.validate()
+        with self.telemetry.span("policy.update", policy=updated.name):
+            self._update_policy(updated, client_certificate)
+        self.telemetry.inc("palaemon_policy_ops_total", op="update")
+        self.telemetry.audit(
+            "policy.update", policy=updated.name,
+            requester=client_certificate.fingerprint(),
+            digest=_policy_digest(updated))
+
+    def _update_policy(self, updated: SecurityPolicy,
+                       client_certificate: Certificate) -> None:
         self._authorize(updated.name, "update", client_certificate,
                         change_digest=_policy_digest(updated))
         existing_secrets: Dict[str, SecretValue] = self.store.get(
@@ -280,11 +340,15 @@ class PalaemonService:
     def delete_policy(self, policy_name: str,
                       client_certificate: Certificate) -> None:
         self._check_serving()
-        self._authorize(policy_name, "delete", client_certificate)
-        for table in ("policies", "owners", "secrets", "fs_keys",
-                      "volume_keys", "volume_tags", "state"):
-            self.store.delete(table, policy_name)
-        self.store.commit_instant()
+        with self.telemetry.span("policy.delete", policy=policy_name):
+            self._authorize(policy_name, "delete", client_certificate)
+            for table in ("policies", "owners", "secrets", "fs_keys",
+                          "volume_keys", "volume_tags", "state"):
+                self.store.delete(table, policy_name)
+            self.store.commit_instant()
+        self.telemetry.inc("palaemon_policy_ops_total", op="delete")
+        self.telemetry.audit("policy.delete", policy=policy_name,
+                             requester=client_certificate.fingerprint())
 
     def list_policies(self) -> List[str]:
         return self.store.keys("policies")
@@ -292,7 +356,31 @@ class PalaemonService:
     # -- attestation and configuration (§IV-A) -------------------------------
 
     def attest_application(self, evidence: AttestationEvidence) -> AppConfig:
-        """Verify an application's evidence and hand over its configuration."""
+        """Verify an application's evidence and hand over its configuration.
+
+        Every verdict is audited: ``attest.accept`` with the attested
+        identity, or ``attest.deny`` with the refusal reason.
+        """
+        with self.telemetry.span("app.attest", policy=evidence.policy_name,
+                                 service=evidence.service_name):
+            try:
+                config = self._attest_application(evidence)
+            except ReproError as exc:
+                self.telemetry.inc("palaemon_attestations_total",
+                                   result="deny")
+                self.telemetry.audit(
+                    "attest.deny", policy=evidence.policy_name,
+                    service=evidence.service_name,
+                    reason=type(exc).__name__, detail=str(exc))
+                raise
+        self.telemetry.inc("palaemon_attestations_total", result="accept")
+        self.telemetry.audit(
+            "attest.accept", policy=evidence.policy_name,
+            service=evidence.service_name,
+            mrenclave=evidence.quote.report.mrenclave)
+        return config
+
+    def _attest_application(self, evidence: AttestationEvidence) -> AppConfig:
         self._check_serving()
         policy = self.store.get("policies", evidence.policy_name)
         if policy is None:
@@ -382,6 +470,9 @@ class PalaemonService:
         tags = self.store.get("volume_tags", policy_name)
         tags[volume_name] = tag
         self.store.commit_instant()
+        self.telemetry.inc("palaemon_volume_tag_updates_total")
+        self.telemetry.audit("volume_tag.update", policy=policy_name,
+                             volume=volume_name, tag=tag)
 
     def get_volume_tag(self, policy_name: str,
                        volume_name: str) -> Optional[bytes]:
@@ -435,6 +526,11 @@ class PalaemonService:
             resolved[import_spec.bound_name] = SecretValue(
                 name=import_spec.bound_name, kind=secret.kind,
                 value=secret.value, certificate=secret.certificate)
+        self.telemetry.inc("palaemon_secret_accesses_total",
+                           amount=len(resolved))
+        self.telemetry.audit("secret.access", policy=policy.name,
+                             count=len(resolved),
+                             imported=len(policy.imports))
         return resolved
 
     # -- tag management (§III-D) ----------------------------------------------
@@ -456,20 +552,34 @@ class PalaemonService:
         if clean_exit:
             state.clean_exit = True
         self.store.commit_instant()
+        self.telemetry.inc("palaemon_tag_updates_total")
+        self.telemetry.audit("tag.update", policy=policy_name,
+                             service=service_name, tag=tag,
+                             clean_exit=clean_exit)
 
     def update_tag(self, policy_name: str, service_name: str, tag: bytes,
                    clean_exit: bool = False) -> Generator[Event, Any, None]:
         """Record a new expected tag, paying the DB commit (Fig 11 left)."""
         self._check_serving()
-        state = self._service_state(policy_name, service_name)
-        state.expected_tag = tag
-        if clean_exit:
-            state.clean_exit = True
-        yield self.simulator.process(self.store.commit())
+        with self.telemetry.span("tag.update", policy=policy_name,
+                                 service=service_name):
+            started = self.simulator.now
+            state = self._service_state(policy_name, service_name)
+            state.expected_tag = tag
+            if clean_exit:
+                state.clean_exit = True
+            yield self.simulator.process(self.store.commit())
+            self.telemetry.observe("palaemon_tag_update_seconds",
+                                   self.simulator.now - started)
+        self.telemetry.inc("palaemon_tag_updates_total")
+        self.telemetry.audit("tag.update", policy=policy_name,
+                             service=service_name, tag=tag,
+                             clean_exit=clean_exit)
 
     def get_tag_instant(self, policy_name: str,
                         service_name: str) -> Optional[bytes]:
         self._check_serving()
+        self.telemetry.inc("palaemon_tag_reads_total")
         return self._service_state(policy_name, service_name).expected_tag
 
     def get_tag(self, policy_name: str, service_name: str,
@@ -480,6 +590,7 @@ class PalaemonService:
         self._check_serving()
         yield self.simulator.timeout(calibration.TAG_READ_LATENCY_SECONDS
                                      - calibration.TLS_RECORD_CRYPTO_SECONDS)
+        self.telemetry.inc("palaemon_tag_reads_total")
         return self._service_state(policy_name, service_name).expected_tag
 
     def execution_count(self, policy_name: str, service_name: str) -> int:

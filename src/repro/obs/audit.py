@@ -1,0 +1,149 @@
+"""A tamper-evident, hash-chained audit log.
+
+PALAEMON's whole point is that no single Byzantine stakeholder can
+*silently* do anything: change a policy, roll state back, push an update.
+That property is only observable if the security-relevant event stream
+itself resists tampering. Each :class:`AuditRecord` therefore carries
+
+    record_hash = SHA-256(previous_hash || canonical(record))
+
+where ``canonical`` is a sorted-key JSON encoding of the record's
+sequence number, timestamp, kind, and details. Editing any field breaks
+that record's hash; dropping or reordering records breaks the chain link
+of the first surviving successor; truncating the tail is detected by
+comparing :meth:`AuditLog.head` against an externally anchored head hash
+(the same trick the rollback guard plays with the monotonic counter).
+
+The log is in-enclave state: an operator can read it out, but can only
+produce a *consistent* forgery by breaking SHA-256 or compromising the
+enclave itself — both outside the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.primitives import sha256
+from repro.errors import IntegrityError
+
+#: The chain anchor for the first record.
+GENESIS_HASH = b"\x00" * 32
+
+
+def sanitize_details(details: Dict[str, object]) -> Dict[str, object]:
+    """Coerce detail values into stable JSON-serializable scalars."""
+    clean: Dict[str, object] = {}
+    for key, value in details.items():
+        if isinstance(value, bytes):
+            clean[str(key)] = value.hex()
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            clean[str(key)] = value
+        else:
+            clean[str(key)] = str(value)
+    return clean
+
+
+def record_digest(sequence: int, timestamp: float, kind: str,
+                  details: Dict[str, object],
+                  previous_hash: bytes) -> bytes:
+    """The chained hash of one record's canonical encoding."""
+    canonical = json.dumps(
+        {"sequence": sequence, "timestamp": timestamp, "kind": kind,
+         "details": details},
+        sort_keys=True, separators=(",", ":")).encode()
+    return sha256(previous_hash, canonical)
+
+
+@dataclass
+class AuditRecord:
+    """One security-relevant event, chained to its predecessor."""
+
+    sequence: int
+    timestamp: float
+    kind: str
+    details: Dict[str, object] = field(default_factory=dict)
+    previous_hash: bytes = GENESIS_HASH
+    record_hash: bytes = b""
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+            "details": dict(self.details),
+            "previous_hash": self.previous_hash.hex(),
+            "record_hash": self.record_hash.hex(),
+        }
+
+
+class AuditLog:
+    """An append-only record chain on an injected (simulator) clock."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.records: List[AuditRecord] = []
+
+    def append(self, kind: str, **details: object) -> AuditRecord:
+        """Append one event; returns the chained record."""
+        clean = sanitize_details(details)
+        sequence = len(self.records)
+        timestamp = self._clock()
+        previous = self.head()
+        record = AuditRecord(
+            sequence=sequence, timestamp=timestamp, kind=kind,
+            details=clean, previous_hash=previous,
+            record_hash=record_digest(sequence, timestamp, kind, clean,
+                                      previous))
+        self.records.append(record)
+        return record
+
+    def head(self) -> bytes:
+        """The hash of the newest record (the value to anchor externally)."""
+        return self.records[-1].record_hash if self.records else GENESIS_HASH
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def verify_chain(self, expected_head: Optional[bytes] = None) -> int:
+        """Re-derive the chain; raises :class:`IntegrityError` on tampering.
+
+        Returns the number of verified records. Passing ``expected_head``
+        (an externally anchored copy of :meth:`head`) additionally detects
+        truncation of the log tail, which a pure chain walk cannot.
+        """
+        previous = GENESIS_HASH
+        for index, record in enumerate(self.records):
+            if record.sequence != index:
+                raise IntegrityError(
+                    f"audit record at position {index} carries sequence "
+                    f"{record.sequence}: records dropped or reordered")
+            if record.previous_hash != previous:
+                raise IntegrityError(
+                    f"audit record {index} does not chain to its "
+                    f"predecessor: records edited, dropped, or reordered")
+            expected = record_digest(record.sequence, record.timestamp,
+                                     record.kind, record.details,
+                                     record.previous_hash)
+            if record.record_hash != expected:
+                raise IntegrityError(
+                    f"audit record {index} ({record.kind!r}) hash mismatch: "
+                    f"record contents were edited")
+            previous = record.record_hash
+        if expected_head is not None and previous != expected_head:
+            raise IntegrityError(
+                "audit log head does not match the anchored head: "
+                "the log tail was truncated or replaced")
+        return len(self.records)
+
+    def is_valid(self, expected_head: Optional[bytes] = None) -> bool:
+        """Boolean form of :meth:`verify_chain`."""
+        try:
+            self.verify_chain(expected_head)
+        except IntegrityError:
+            return False
+        return True
+
+    def by_kind(self, kind: str) -> List[AuditRecord]:
+        return [record for record in self.records if record.kind == kind]

@@ -1,0 +1,139 @@
+"""In-enclave metrics: counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is the single mutable home of every metric a
+PALAEMON instance emits. Metrics are identified by a name plus a sorted
+label set (Prometheus-style), so ``palaemon_rest_requests_total{route=
+"policy.create"}`` and ``...{route="tag.update"}`` are distinct series of
+one family. Histograms defer their percentile math to
+:func:`repro.sim.metrics.summarize` — the same reduction the benchmark
+harness uses — so "what the operator sees" and "what the benchmarks
+report" can never drift apart.
+
+Everything here is pure bookkeeping: no I/O, no wall-clock reads, no
+simulated latency. Instrumented hot paths stay exactly as fast (in
+virtual time) as uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.sim.metrics import LatencySummary, summarize
+
+#: A label set in canonical form: sorted (key, value) pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def canonical_labels(labels: Dict[str, str]) -> LabelSet:
+    """Sort and stringify a label dict into its canonical tuple form."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (requests served, votes cast)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (current counter value, peers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution of observations (latencies, batch sizes).
+
+    Raw samples are retained; summaries are computed on demand through the
+    shared :func:`repro.sim.metrics.summarize` so percentile semantics match
+    the benchmark harness exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self.samples: List[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> LatencySummary:
+        return summarize(self.samples, name=self.name)
+
+
+class MetricsRegistry:
+    """All metrics of one telemetry domain, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, factory, name: str, labels: Dict[str, str]):
+        kind = factory.kind
+        known = self._kinds.setdefault(name, kind)
+        if known != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {known}, "
+                f"cannot reuse it as a {kind}")
+        key = (name, canonical_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def names(self) -> List[str]:
+        """Distinct metric family names, sorted."""
+        return sorted(self._kinds)
+
+    def kind_of(self, name: str) -> str:
+        return self._kinds[name]
+
+    def series(self) -> Iterator[object]:
+        """Every metric series in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)

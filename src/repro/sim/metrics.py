@@ -40,6 +40,40 @@ class LatencySummary:
                 f"p99={self.p99 * 1e3:.3f}ms max={self.maximum * 1e3:.3f}ms")
 
 
+def summarize(samples: Sequence[float],
+              name: str = "samples") -> LatencySummary:
+    """The canonical sample -> :class:`LatencySummary` reduction.
+
+    Every consumer of percentile statistics (`LatencyRecorder`, the
+    ``repro.obs`` histograms, benchmark exports) goes through this one
+    function so the percentile math is defined exactly once.
+    """
+    if not samples:
+        raise ValueError(f"{name!r} has no samples")
+    return LatencySummary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        p50=percentile(samples, 0.50),
+        p95=percentile(samples, 0.95),
+        p99=percentile(samples, 0.99),
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def summary_to_dict(summary: LatencySummary) -> Dict[str, float]:
+    """Flatten a :class:`LatencySummary` into JSON-serializable primitives."""
+    return {
+        "count": summary.count,
+        "mean": summary.mean,
+        "p50": summary.p50,
+        "p95": summary.p95,
+        "p99": summary.p99,
+        "min": summary.minimum,
+        "max": summary.maximum,
+    }
+
+
 class LatencyRecorder:
     """Collects request latencies and summarizes them."""
 
@@ -56,17 +90,7 @@ class LatencyRecorder:
         return len(self.samples)
 
     def summary(self) -> LatencySummary:
-        if not self.samples:
-            raise ValueError(f"recorder {self.name!r} has no samples")
-        return LatencySummary(
-            count=len(self.samples),
-            mean=sum(self.samples) / len(self.samples),
-            p50=percentile(self.samples, 0.50),
-            p95=percentile(self.samples, 0.95),
-            p99=percentile(self.samples, 0.99),
-            minimum=min(self.samples),
-            maximum=max(self.samples),
-        )
+        return summarize(self.samples, name=self.name)
 
     def mean(self) -> float:
         return sum(self.samples) / len(self.samples)

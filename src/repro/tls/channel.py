@@ -72,6 +72,7 @@ class TLSConnection:
                 server_certificate: Optional[Certificate] = None,
                 trusted_root: Optional[PublicKey] = None,
                 client_certificate: Optional[Certificate] = None,
+                telemetry=None,
                 ) -> Generator[Event, Any, "TLSConnection"]:
         """Handshake and build a connection; a simulation process."""
         session = yield network.simulator.process(perform_handshake(
@@ -80,6 +81,7 @@ class TLSConnection:
             server_certificate=server_certificate,
             trusted_root=trusted_root,
             client_certificate=client_certificate,
+            telemetry=telemetry,
         ))
         client_endpoint = network.endpoint(client_name, client_site)
         return cls(network, client_endpoint, server_endpoint, session, rng)

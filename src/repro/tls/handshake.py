@@ -18,6 +18,7 @@ from repro.crypto.primitives import DeterministicRandom, hkdf
 from repro.crypto.signatures import PublicKey
 from repro.crypto.symmetric import SecretBox
 from repro.errors import CertificateError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.core import Event, Simulator
 from repro.sim.network import Site, rtt_between
 
@@ -48,6 +49,7 @@ def perform_handshake(simulator: Simulator,
                       server_certificate: Optional[Certificate] = None,
                       trusted_root: Optional[PublicKey] = None,
                       client_certificate: Optional[Certificate] = None,
+                      telemetry: Optional[Telemetry] = None,
                       ) -> Generator[Event, Any, TLSSession]:
     """Establish a TLS session; a process returning :class:`TLSSession`.
 
@@ -55,13 +57,28 @@ def perform_handshake(simulator: Simulator,
     it *during* the handshake — this is how clients of a managed PALAEMON
     instance attest it via the PALAEMON CA (§III-B): a provider-run instance
     without a CA-signed certificate fails here, before any request is sent.
+
+    ``telemetry`` (typically the serving instance's) counts and times the
+    handshake; verification failures land in its error counter before the
+    exception propagates.
     """
-    yield simulator.timeout(handshake_latency(client_site, server_site))
-    if trusted_root is not None:
-        if server_certificate is None:
-            raise CertificateError("server presented no certificate")
-        server_certificate.verify(now=simulator.now,
-                                  trusted_root=trusted_root)
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    with telemetry.span("tls.handshake", client_site=client_site.value,
+                        server_site=server_site.value):
+        started = simulator.now
+        yield simulator.timeout(handshake_latency(client_site, server_site))
+        try:
+            if trusted_root is not None:
+                if server_certificate is None:
+                    raise CertificateError("server presented no certificate")
+                server_certificate.verify(now=simulator.now,
+                                          trusted_root=trusted_root)
+        except CertificateError:
+            telemetry.inc("palaemon_tls_handshakes_total", result="failed")
+            raise
+        telemetry.inc("palaemon_tls_handshakes_total", result="established")
+        telemetry.observe("palaemon_tls_handshake_seconds",
+                          simulator.now - started)
     client_random = rng.bytes(32)
     server_random = rng.bytes(32)
     master = hkdf(client_random + server_random, b"tls-master-secret")

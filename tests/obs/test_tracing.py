@@ -1,0 +1,106 @@
+"""Spans: nesting, annotations, simulator-clock-only timestamps, and
+byte-identical traces for identical seeds."""
+
+import pathlib
+
+from repro.obs.tracing import Tracer
+from repro.sim.core import Simulator
+
+
+def sim_tracer():
+    simulator = Simulator()
+    return simulator, Tracer(lambda: simulator.now)
+
+
+class TestSpanNesting:
+    def test_child_links_to_parent(self):
+        _sim, tracer = sim_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.span.parent_id == outer.span.span_id
+            assert tracer.open_depth() == 1
+        assert tracer.open_depth() == 0
+        names = [span.name for span in tracer.finished]
+        assert names == ["inner", "outer"]  # finish order: children first
+
+    def test_siblings_share_parent(self):
+        _sim, tracer = sim_tracer()
+        with tracer.span("root") as root:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.span.parent_id == root.span.span_id
+        assert second.span.parent_id == root.span.span_id
+        assert root.span.parent_id is None
+
+    def test_span_ids_are_sequential(self):
+        _sim, tracer = sim_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [span.span_id for span in tracer.finished] == [2, 1, 3]
+
+    def test_exception_marks_span_and_unwinds(self):
+        _sim, tracer = sim_tracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.open_depth() == 0
+        (span,) = tracer.finished
+        assert span.attributes["error"] == "ValueError"
+
+
+class TestSimulatorClock:
+    def test_span_measures_virtual_time(self):
+        simulator, tracer = sim_tracer()
+
+        def workload():
+            with tracer.span("timed") as handle:
+                yield simulator.timeout(1.5)
+                handle.annotate("halfway mark")
+                yield simulator.timeout(0.5)
+
+        simulator.run_process(workload())
+        (span,) = tracer.finished
+        assert span.start == 0.0
+        assert span.end == 2.0
+        assert span.duration == 2.0
+        assert span.annotations == [(1.5, "halfway mark")]
+
+    def test_attributes_and_annotations_stringify(self):
+        _sim, tracer = sim_tracer()
+        with tracer.span("s", count=3) as handle:
+            handle.set_attribute("extra", 7)
+        (span,) = tracer.finished
+        assert span.attributes == {"count": "3", "extra": "7"}
+
+    def test_identical_runs_produce_identical_traces(self):
+        def run():
+            simulator, tracer = sim_tracer()
+
+            def workload():
+                for index in range(3):
+                    with tracer.span("op", round=index):
+                        yield simulator.timeout(0.25)
+
+            simulator.run_process(workload())
+            return [span.to_dict() for span in tracer.finished]
+
+        assert run() == run()
+
+
+def test_obs_sources_never_touch_the_wall_clock():
+    """The acceptance criterion: no time.time/perf_counter in repro.obs."""
+    obs_dir = (pathlib.Path(__file__).parent.parent.parent
+               / "src" / "repro" / "obs")
+    forbidden = ("time.time", "perf_counter", "monotonic(",
+                 "datetime.now", "import time")
+    for source in sorted(obs_dir.glob("*.py")):
+        text = source.read_text()
+        for needle in forbidden:
+            assert needle not in text, f"{source.name} uses {needle!r}"

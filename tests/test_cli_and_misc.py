@@ -39,6 +39,22 @@ class TestCli:
         assert "quickstart.py" in output
         assert "ml_pipeline.py" in output
 
+    def test_observe_reports_metrics_and_valid_chain(self, capsys):
+        assert main(["observe"]) == 0
+        output = capsys.readouterr().out
+        assert "audit chain: valid" in output
+        metric_names = {line.split(" ")[2]
+                        for line in output.splitlines()
+                        if line.startswith("# TYPE ")}
+        assert len(metric_names) >= 8
+        assert "palaemon_attestations_total" in metric_names
+
+    def test_observe_same_seed_same_output(self, capsys):
+        assert main(["observe", "--seed", "repeatable"]) == 0
+        first = capsys.readouterr().out
+        assert main(["observe", "--seed", "repeatable"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestYamlishDumps:
     def test_empty_top_level_mapping_rejected(self):

@@ -33,9 +33,10 @@ name: quickstart_policy
 services:
   - name: web_app
     image_name: web-app-image
-    command: app --listen=0.0.0.0:8443 --api-key=$$PALAEMON$API_KEY$$
+    command: app --listen=0.0.0.0:8443
     environment:
       DEPLOYMENT: production
+      API_KEY: $$PALAEMON$API_KEY$$
     mrenclaves: ["$APP_MRENCLAVE"]
     inject_files:
       /etc/app/tls.conf: "private_key = $$PALAEMON$TLS_KEY$$\\n"
@@ -91,8 +92,11 @@ def main() -> None:
     runtime = SconeRuntime(platform, palaemon, rng.fork(b"runtime"))
     app = runtime.launch(app_image, "quickstart_policy", "web_app")
     print("Application attested and configured:")
-    print(f"  argv        = {app.argv()}")
+    print(f"  argv        = {app.argv()}   (no secrets: argv is visible "
+          f"through /proc outside the TEE)")
     print(f"  DEPLOYMENT  = {app.getenv('DEPLOYMENT')}")
+    print(f"  API_KEY     = {len(app.getenv('API_KEY'))} bytes, "
+          f"delivered via the enclave environment")
     tls_conf = app.read_file("/etc/app/tls.conf")
     print(f"  /etc/app/tls.conf starts with {tls_conf[:24]!r} "
           f"({len(tls_conf)} bytes, secret injected in enclave memory)")

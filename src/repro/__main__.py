@@ -15,6 +15,11 @@ Commands
     snapshot (Prometheus-style), the trace summary, and the audit-chain
     verification result. ``--seed`` varies the run; the same seed prints
     identical output.
+``lint``
+    Static analysis (palint): AST-lint the source tree and optionally
+    policy documents (``--policy FILE``). ``--format=json`` for machine
+    output, ``--list-rules`` for the catalogue; exit 1 on unsuppressed
+    findings. See ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -125,6 +130,16 @@ def main(argv=None) -> int:
         "observe", help="run a workload, print telemetry + audit verdict")
     observe.add_argument("--seed", default="observe",
                          help="workload seed (same seed, same output)")
+    subparsers.add_parser(
+        "lint", add_help=False,
+        help="static analysis: policy + source lint (palint)")
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint CLI owns its own argument surface (src/repro/analysis).
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()

@@ -1,0 +1,104 @@
+"""The rule registry: every lint rule, addressable by code.
+
+Rules declare a code (``PAL001``, ``DOC001``, ``SRC101``, ...), a scope
+that decides what input their check function receives, a default
+severity, and the check itself.  The registry iterates rules in code
+order so analysis output never depends on import order.
+
+Scopes
+------
+``policy``
+    ``check(policy, ctx)`` — one parsed :class:`SecurityPolicy` at a
+    time, with the surrounding :class:`PolicySetContext` for reference.
+``policyset``
+    ``check(ctx)`` — cross-policy rules (cycles, dangling imports).
+``document``
+    ``check(name, document)`` — the raw yamlish mapping, before parsing
+    fills in defaults.
+``source``
+    ``check(source)`` — one parsed :class:`SourceFile` (path, module
+    name, AST, source lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.analysis.findings import Severity
+
+SCOPES = ("policy", "policyset", "document", "source")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    title: str
+    scope: str
+    severity: Severity
+    check: Callable = field(compare=False)
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scope not in SCOPES:
+            raise ValueError(f"rule {self.code}: unknown scope {self.scope!r}")
+
+
+class RuleRegistry:
+    """A set of rules with stable iteration order."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.code in self._rules:
+            raise ValueError(f"duplicate rule code {rule.code!r}")
+        self._rules[rule.code] = rule
+        return rule
+
+    def get(self, code: str) -> Rule:
+        try:
+            return self._rules[code]
+        except KeyError:
+            raise KeyError(f"no rule with code {code!r}") from None
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._rules))
+
+    def rules(self, scope: Optional[str] = None,
+              codes: Optional[Iterable[str]] = None) -> Tuple[Rule, ...]:
+        """Rules in code order, optionally filtered by scope and codes."""
+        wanted = None if codes is None else set(codes)
+        if wanted is not None:
+            unknown = wanted - set(self._rules)
+            if unknown:
+                raise KeyError(
+                    f"unknown rule codes: {', '.join(sorted(unknown))}")
+        selected = []
+        for code in sorted(self._rules):
+            rule = self._rules[code]
+            if scope is not None and rule.scope != scope:
+                continue
+            if wanted is not None and code not in wanted:
+                continue
+            selected.append(rule)
+        return tuple(selected)
+
+
+#: The registry the stock rule modules populate on import.
+DEFAULT_REGISTRY = RuleRegistry()
+
+
+def rule(code: str, title: str, scope: str, severity: Severity,
+         hint: str = "", registry: Optional[RuleRegistry] = None):
+    """Decorator: register a check function as a rule."""
+
+    def decorate(check: Callable) -> Callable:
+        (registry or DEFAULT_REGISTRY).register(Rule(
+            code=code, title=title, scope=scope, severity=severity,
+            check=check, hint=hint))
+        return check
+
+    return decorate

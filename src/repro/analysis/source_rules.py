@@ -1,0 +1,217 @@
+"""Repo-lint rules (``SRC1xx``): deterministic AST checks on our sources.
+
+Built on stdlib ``ast`` — unlike a substring scan, a comment or string
+literal mentioning ``time.time`` does not trip these rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Set
+
+from repro.analysis.context import SourceFile
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: Packages whose behaviour must be a pure function of the seed: the
+#: simulator, the telemetry that records simulated time, and this
+#: analyzer itself (lint output is asserted byte-identical across runs).
+DETERMINISTIC_PACKAGES = ("repro.sim", "repro.obs", "repro.analysis")
+
+#: ``time`` module attributes that read the host clock.
+_WALL_CLOCK_ATTRS = frozenset((
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime"))
+#: ``datetime``/``date`` constructors that read the host clock.
+_NOW_ATTRS = frozenset(("now", "utcnow", "today"))
+
+_SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _in_deterministic_package(module: str) -> bool:
+    return any(module == package or module.startswith(package + ".")
+               for package in DETERMINISTIC_PACKAGES)
+
+
+@rule("SRC101", "wall clock in deterministic package", scope="source",
+      severity=Severity.ERROR,
+      hint="derive every timestamp from the simulator clock")
+def check_wall_clock(source: SourceFile) -> Iterator[Finding]:
+    if not _in_deterministic_package(source.module):
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "time":
+                    yield _wall_clock_finding(
+                        source, node.lineno,
+                        f"imports the 'time' module (as "
+                        f"{alias.asname or alias.name!r})")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "time":
+                names = ", ".join(alias.name for alias in node.names)
+                yield _wall_clock_finding(
+                    source, node.lineno,
+                    f"imports {names} from the 'time' module")
+        elif isinstance(node, ast.Call):
+            target = node.func
+            if not isinstance(target, ast.Attribute):
+                continue
+            value = target.value
+            if (target.attr in _WALL_CLOCK_ATTRS
+                    and isinstance(value, ast.Name)
+                    and value.id == "time"):
+                yield _wall_clock_finding(
+                    source, node.lineno, f"calls time.{target.attr}()")
+            elif target.attr in _NOW_ATTRS and _names_datetime(value):
+                yield _wall_clock_finding(
+                    source, node.lineno,
+                    f"calls {ast.unparse(target)}()")
+
+
+def _names_datetime(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("datetime", "date")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("datetime", "date")
+    return False
+
+
+def _wall_clock_finding(source: SourceFile, line: int,
+                        what: str) -> Finding:
+    return Finding(
+        code="SRC101", severity=Severity.ERROR, subject=source.display,
+        line=line,
+        message=(f"{source.module} {what}; {_package_of(source.module)} "
+                 f"must stay deterministic (same seed, same bytes)"),
+        hint="use the simulator clock (simulator.now / a clock callable)")
+
+
+def _package_of(module: str) -> str:
+    for package in DETERMINISTIC_PACKAGES:
+        if module == package or module.startswith(package + "."):
+            return package
+    return module
+
+
+@rule("SRC102", "bare except", scope="source",
+      severity=Severity.WARNING,
+      hint="catch a concrete exception type (ReproError subclasses)")
+def check_bare_except(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                code="SRC102", severity=Severity.WARNING,
+                subject=source.display, line=node.lineno,
+                message="bare 'except:' swallows SystemExit and "
+                        "KeyboardInterrupt along with real errors",
+                hint="name the exception class; the error taxonomy in "
+                     "repro.errors is there to be caught precisely")
+
+
+@rule("SRC103", "non-snake_case REST error code", scope="source",
+      severity=Severity.ERROR,
+      hint="REST error codes are API surface: ^[a-z][a-z0-9_]*$")
+def check_rest_error_codes(source: SourceFile) -> Iterator[Finding]:
+    if source.module != "repro.core.rest":
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "code":
+                    yield from _check_code_value(source, keyword.value)
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (isinstance(key, ast.Constant)
+                        and key.value == "code"):
+                    yield from _check_code_value(source, value)
+
+
+def _check_code_value(source: SourceFile,
+                      value: ast.expr) -> Iterator[Finding]:
+    if not isinstance(value, ast.Constant):
+        return  # dynamic codes are produced by error_code(), which lints
+    if not isinstance(value.value, str):
+        return
+    if _SNAKE_CASE.match(value.value):
+        return
+    yield Finding(
+        code="SRC103", severity=Severity.ERROR, subject=source.display,
+        line=value.lineno,
+        message=(f"REST error code {value.value!r} violates the "
+                 f"snake_case convention clients match on"),
+        hint="use lowercase letters, digits, underscores")
+
+
+@rule("SRC104", "unaudited state change", scope="source",
+      severity=Severity.ERROR,
+      hint="every state-changing service method must telemetry.audit()")
+def check_unaudited_state_change(source: SourceFile) -> Iterator[Finding]:
+    if source.module != "repro.core.service":
+        return
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "PalaemonService":
+            yield from _check_service_class(source, node)
+
+
+def _check_service_class(source: SourceFile,
+                         cls: ast.ClassDef) -> Iterator[Finding]:
+    methods: Dict[str, ast.AST] = {}
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = item
+
+    facts = {name: _method_facts(body, set(methods))
+             for name, body in methods.items()}
+
+    def closure(name: str, key: str, seen: Set[str]) -> bool:
+        if name in seen:
+            return False
+        seen.add(name)
+        direct, helpers = facts[name]
+        if key in direct:
+            return True
+        return any(closure(helper, key, seen) for helper in helpers)
+
+    for name in sorted(methods):
+        if name.startswith("_"):
+            continue  # helpers are covered through their public callers
+        if not closure(name, "mutates", set()):
+            continue
+        if closure(name, "audits", set()):
+            continue
+        yield Finding(
+            code="SRC104", severity=Severity.ERROR, subject=source.display,
+            line=methods[name].lineno,
+            message=(f"PalaemonService.{name} changes persistent state "
+                     f"(store put/delete/commit) but never emits an audit "
+                     f"record, breaking the hash-chained audit trail"),
+            hint="call self.telemetry.audit(...) on every outcome")
+
+
+def _method_facts(method: ast.AST, method_names: Set[str]):
+    """(facts, helpers): which primitives a method touches directly."""
+    direct: Set[str] = set()
+    helpers: Set[str] = set()
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        owner = func.value
+        if (isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "self"):
+            if (owner.attr == "store"
+                    and func.attr in ("put", "delete", "commit",
+                                      "commit_instant")):
+                direct.add("mutates")
+            elif owner.attr == "telemetry" and func.attr == "audit":
+                direct.add("audits")
+        elif isinstance(owner, ast.Name) and owner.id == "self":
+            if func.attr in method_names:
+                helpers.add(func.attr)
+    return direct, helpers

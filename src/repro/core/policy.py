@@ -224,7 +224,10 @@ class SecurityPolicy:
         Returns the document plus the certificate registry needed to parse
         it back (board member certificates are referenced by name in the
         document, as deployment tooling would store them separately).
-        MRENCLAVEs and platform ids serialize as hex.
+        MRENCLAVEs and platform ids serialize as hex.  The board
+        threshold is always written out, even when the source document
+        relied on the unanimity default — round-tripping a policy makes
+        the quorum explicit.
         """
         document: dict = {"name": self.name}
         if self.services:
@@ -382,9 +385,17 @@ class SecurityPolicy:
                     approval_endpoint=raw["approval_endpoint"],
                     veto=bool(raw.get("veto", False)),
                 ))
+            raw_threshold = raw_board.get("threshold")
+            if raw_threshold is None:
+                # A document without a threshold means unanimity
+                # (n-of-n).  The default is deliberately explicit here —
+                # ``to_dict`` always serializes the resolved number, so a
+                # parse/serialize round trip surfaces it, and the DOC001
+                # lint rule warns on documents that omit it (an
+                # unreachable member freezes every access under n-of-n).
+                raw_threshold = len(members)
             board = BoardSpec(members=tuple(members),
-                              threshold=int(raw_board.get("threshold",
-                                                          len(members))))
+                              threshold=int(raw_threshold))
 
         policy = cls(name=data.get("name", ""), services=services,
                      secrets=secrets, volumes=volumes, imports=imports,

@@ -1,0 +1,112 @@
+"""Fixture policy sets with seeded defects for the analyzer tests.
+
+Each builder seeds exactly one defect, constructed so that exactly one
+rule code fires on it — the tests assert both the detection and the
+absence of collateral findings.
+"""
+
+from repro.core.policy import (
+    BoardSpec,
+    ImportSpec,
+    PolicyBoardMember,
+    SecurityPolicy,
+    ServiceSpec,
+)
+from repro.core.secrets import SecretKind, SecretSpec
+from repro.crypto.certificates import self_signed_certificate
+from repro.crypto.primitives import DeterministicRandom
+from repro.crypto.signatures import KeyPair
+
+MRE = b"\x01" * 32
+
+
+def board(member_count=3, threshold=2, veto_members=("member-0",),
+          seed=b"fixture-board"):
+    """A board with real certificates; member-0 holds veto by default."""
+    rng = DeterministicRandom(seed)
+    members = []
+    for index in range(member_count):
+        name = f"member-{index}"
+        keys = KeyPair.generate(rng.fork(name.encode()), bits=512)
+        members.append(PolicyBoardMember(
+            name=name,
+            certificate=self_signed_certificate(name, keys),
+            approval_endpoint=f"approval-{name}",
+            veto=name in veto_members))
+    return BoardSpec(members=tuple(members), threshold=threshold)
+
+
+def service(name="app", command=("python", "/app.py"),
+            environment=None, injection_files=None):
+    return ServiceSpec(
+        name=name, image_name=f"{name}-image",
+        command=list(command),
+        environment=dict(environment or {}),
+        mrenclaves=[MRE],
+        injection_files=dict(injection_files or {}))
+
+
+def clean_policy(name="clean"):
+    """A policy no rule fires on: majority+veto board, used secret."""
+    return SecurityPolicy(
+        name=name,
+        services=[service(injection_files={
+            "/etc/app.conf": b"key=$$PALAEMON$API_KEY$$"})],
+        secrets=[SecretSpec(name="API_KEY", kind=SecretKind.RANDOM)],
+        board=board())
+
+
+def weak_quorum_set():
+    """threshold=1 with 4 members -> PAL001 (CRITICAL) and nothing else."""
+    policy = SecurityPolicy(
+        name="weak_quorum",
+        services=[service(injection_files={
+            "/etc/app.conf": b"key=$$PALAEMON$API_KEY$$"})],
+        secrets=[SecretSpec(name="API_KEY", kind=SecretKind.RANDOM)],
+        board=board(member_count=4, threshold=1))
+    return {policy.name: policy}
+
+
+def cycle_set():
+    """producer <-> consumer import cycle -> PAL011 and nothing else."""
+    producer = SecurityPolicy(
+        name="cycle_producer",
+        secrets=[SecretSpec(name="MODEL_KEY", kind=SecretKind.RANDOM,
+                            export_to=("cycle_consumer",))],
+        imports=[ImportSpec(from_policy="cycle_consumer",
+                            secret_name="RESULT_KEY")])
+    consumer = SecurityPolicy(
+        name="cycle_consumer",
+        secrets=[SecretSpec(name="RESULT_KEY", kind=SecretKind.RANDOM,
+                            export_to=("cycle_producer",))],
+        imports=[ImportSpec(from_policy="cycle_producer",
+                            secret_name="MODEL_KEY")])
+    return {producer.name: producer, consumer.name: consumer}
+
+
+def dangling_import_set():
+    """Import from a policy outside the set -> PAL010 and nothing else."""
+    orphan = SecurityPolicy(
+        name="orphan",
+        imports=[ImportSpec(from_policy="never_created",
+                            secret_name="DB_PASSWORD")])
+    return {orphan.name: orphan}
+
+
+def argv_secret_set():
+    """A secret substituted into argv -> PAL020 and nothing else."""
+    policy = SecurityPolicy(
+        name="argv_leak",
+        services=[service(
+            command=("python", "/app.py",
+                     "--api-key=$$PALAEMON$API_KEY$$"))],
+        secrets=[SecretSpec(name="API_KEY", kind=SecretKind.RANDOM)])
+    return {policy.name: policy}
+
+
+SEEDED_DEFECTS = {
+    "PAL001": weak_quorum_set,
+    "PAL010": dangling_import_set,
+    "PAL011": cycle_set,
+    "PAL020": argv_secret_set,
+}

@@ -1,0 +1,116 @@
+"""Engine determinism: identical inputs, byte-identical output."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.engine import Analyzer, max_severity
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.report import render_json, render_text
+from repro.core.policy import ImportSpec, SecurityPolicy
+from repro.core.secrets import SecretKind, SecretSpec
+
+from tests.analysis import fixtures
+
+policy_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon"])
+secret_names = st.sampled_from(
+    ["API_KEY", "DB_PASSWORD", "TLS_CERT", "MODEL_KEY"])
+
+
+@st.composite
+def policy_sets(draw):
+    """Small random policy sets: secrets, exports, imports, maybe argv."""
+    names = draw(st.lists(policy_names, min_size=1, max_size=3,
+                          unique=True))
+    policies = {}
+    for name in names:
+        secrets = [
+            SecretSpec(name=secret, kind=SecretKind.RANDOM,
+                       export_to=tuple(draw(st.lists(
+                           policy_names, max_size=2, unique=True))))
+            for secret in draw(st.lists(secret_names, max_size=2,
+                                        unique=True))]
+        imports = [
+            ImportSpec(from_policy=draw(policy_names),
+                       secret_name=draw(secret_names))
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))]
+        services = []
+        if draw(st.booleans()):
+            command = ["python", "/app.py"]
+            if draw(st.booleans()):
+                command.append("--key=$$PALAEMON$API_KEY$$")
+            services.append(fixtures.service(command=command))
+        policies[name] = SecurityPolicy(
+            name=name, services=services, secrets=secrets, imports=imports)
+    return policies
+
+
+class TestDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(policy_sets())
+    def test_policy_lint_output_byte_identical(self, policies):
+        first = render_json(Analyzer().analyze_policy_set(policies))
+        second = render_json(Analyzer().analyze_policy_set(policies))
+        assert first == second
+
+    def test_repo_lint_output_byte_identical(self):
+        first = render_json(Analyzer().analyze_repo())
+        second = render_json(Analyzer().analyze_repo())
+        assert first == second
+
+    def test_findings_order_is_independent_of_input_order(self):
+        policies = fixtures.cycle_set()
+        reversed_policies = dict(reversed(list(policies.items())))
+        assert (Analyzer().analyze_policy_set(policies)
+                == Analyzer().analyze_policy_set(reversed_policies))
+
+    def test_sort_findings_dedupes(self):
+        finding = Finding(code="PAL001", severity=Severity.ERROR,
+                          subject="p", message="dup", line=None)
+        assert sort_findings([finding, finding]) == [finding]
+
+
+class TestReporters:
+    def test_clean_text_report(self):
+        assert render_text([]) == "palint: clean (0 findings)\n"
+
+    def test_text_report_includes_hint_and_summary(self):
+        finding = Finding(code="PAL001", severity=Severity.CRITICAL,
+                          subject="weak", message="too weak",
+                          hint="raise it")
+        text = render_text([finding])
+        assert "weak: CRITICAL [PAL001] too weak" in text
+        assert "hint: raise it" in text
+        assert "palint: 1 critical" in text
+
+    def test_json_report_shape(self):
+        import json
+        finding = Finding(code="SRC102", severity=Severity.WARNING,
+                          subject="src/x.py", message="bare", line=3)
+        document = json.loads(render_json([finding], suppressed=2))
+        assert document["summary"] == {
+            "total": 1, "suppressed": 2, "by_severity": {"WARNING": 1}}
+        assert document["findings"][0]["code"] == "SRC102"
+        assert document["findings"][0]["line"] == 3
+
+    def test_suppressed_count_in_text_summary(self):
+        assert "(2 suppressed by baseline)" in render_text([], suppressed=2)
+
+
+class TestSeverity:
+    def test_parse_accepts_names(self):
+        assert Severity.parse("critical") is Severity.CRITICAL
+        assert Severity.parse("WARNING") is Severity.WARNING
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+    def test_max_severity(self):
+        low = Finding(code="A", severity=Severity.INFO, subject="s",
+                      message="m")
+        high = Finding(code="B", severity=Severity.ERROR, subject="s",
+                       message="m")
+        assert max_severity([low, high]) is Severity.ERROR
+        assert max_severity([]) is None

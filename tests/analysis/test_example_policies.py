@@ -1,0 +1,65 @@
+"""Satellite check: every policy an example constructs passes palint.
+
+The examples are the documentation users actually copy; if one of them
+builds a policy with an ERROR-or-worse trust smell, the linter and the
+docs contradict each other. Each example's ``main()`` runs in-process
+with ``SecurityPolicy.validate`` instrumented to capture every policy
+instance, and the captured set (last definition per name — examples
+re-submit updated revisions under the same name) is then analyzed.
+"""
+
+import contextlib
+import importlib.util
+import io
+import pathlib
+
+import pytest
+
+from repro.analysis.engine import Analyzer
+from repro.analysis.findings import Severity
+from repro.core.policy import SecurityPolicy
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+#: Examples that are pure latency studies and never build a policy.
+POLICY_FREE = {"faas_coldstart"}
+
+
+def run_example_capturing_policies(path, monkeypatch):
+    """Import + run one example, returning every policy it validated."""
+    captured = {}
+    original = SecurityPolicy.validate
+
+    def recording_validate(self):
+        captured[self.name] = self
+        return original(self)
+
+    monkeypatch.setattr(SecurityPolicy, "validate", recording_validate)
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    with contextlib.redirect_stdout(io.StringIO()):
+        spec.loader.exec_module(module)
+        module.main()
+    return captured
+
+
+def test_every_example_is_covered():
+    assert [path.name for path in EXAMPLES] == [
+        "faas_coldstart.py", "federation_failover.py", "managed_cloud.py",
+        "ml_pipeline.py", "quickstart.py", "secure_update.py"]
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda path: path.stem)
+def test_example_policies_pass_lint(path, monkeypatch):
+    captured = run_example_capturing_policies(path, monkeypatch)
+    if path.stem in POLICY_FREE:
+        assert not captured, f"{path.name} now builds policies; unlist it"
+        return
+    assert captured, f"{path.name} never constructed a policy"
+    findings = Analyzer().analyze_policy_set(captured)
+    serious = [finding for finding in findings
+               if finding.severity >= Severity.ERROR]
+    assert serious == [], "\n".join(
+        f"{path.name}: {finding.location}: [{finding.code}] "
+        f"{finding.message}" for finding in serious)

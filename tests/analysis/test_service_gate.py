@@ -1,0 +1,131 @@
+"""The pre-board lint gate: create/update_policy(..., analyze=True)."""
+
+import pytest
+
+from repro.errors import PolicyNotFoundError, PolicyValidationError
+
+from tests.core.conftest import Deployment
+
+
+def argv_leak_policy(deployment, name="leaky"):
+    """A policy whose command line carries a secret (PAL020 CRITICAL)."""
+    policy = deployment.make_policy(name=name)
+    policy.services[0].command.append("--api-key=$$PALAEMON$API_KEY$$")
+    return policy
+
+
+def used_secret_policy(deployment, name="clean"):
+    """A policy the analyzer raises no CRITICAL finding on."""
+    return deployment.make_policy(
+        name=name,
+        injection_files={"/etc/app.conf": b"key=$$PALAEMON$API_KEY$$"})
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment()
+
+
+class TestCreateGate:
+    def test_clean_policy_accepted(self, deployment):
+        policy = used_secret_policy(deployment)
+        deployment.palaemon.create_policy(
+            policy, deployment.client.certificate, analyze=True)
+        fetched = deployment.client.read_policy(deployment.palaemon,
+                                                policy.name)
+        assert fetched.name == policy.name
+
+    def test_critical_finding_rejects_before_storage(self, deployment):
+        policy = argv_leak_policy(deployment)
+        with pytest.raises(PolicyValidationError) as excinfo:
+            deployment.palaemon.create_policy(
+                policy, deployment.client.certificate, analyze=True)
+        assert "PAL020" in str(excinfo.value)
+        with pytest.raises(PolicyNotFoundError):
+            deployment.client.read_policy(deployment.palaemon, policy.name)
+
+    def test_rejection_happens_before_board_round(self, deployment):
+        """No approval service hears about a policy the analyzer killed."""
+        policy = argv_leak_policy(deployment)
+        with pytest.raises(PolicyValidationError):
+            deployment.palaemon.create_policy(
+                policy, deployment.client.certificate, analyze=True)
+        for approval in deployment.approval_services.values():
+            assert all(request.policy_name != policy.name
+                       for request in getattr(approval, "seen", []))
+
+    def test_gate_is_opt_in(self, deployment):
+        """Without analyze=True the historical behaviour is unchanged."""
+        policy = argv_leak_policy(deployment)
+        deployment.palaemon.create_policy(policy,
+                                          deployment.client.certificate)
+        fetched = deployment.client.read_policy(deployment.palaemon,
+                                                policy.name)
+        assert fetched.name == policy.name
+
+    def test_weak_quorum_board_rejected(self):
+        deployment = Deployment(board_members=4, board_threshold=1)
+        policy = used_secret_policy(deployment)
+        with pytest.raises(PolicyValidationError) as excinfo:
+            deployment.palaemon.create_policy(
+                policy, deployment.client.certificate, analyze=True)
+        assert "PAL001" in str(excinfo.value)
+
+
+class TestUpdateGate:
+    def test_update_rejects_critical_finding(self, deployment):
+        policy = used_secret_policy(deployment)
+        deployment.palaemon.create_policy(
+            policy, deployment.client.certificate, analyze=True)
+        tainted = used_secret_policy(deployment)
+        tainted.services[0].command.append(
+            "--api-key=$$PALAEMON$API_KEY$$")
+        with pytest.raises(PolicyValidationError):
+            deployment.palaemon.update_policy(
+                tainted, deployment.client.certificate, analyze=True)
+        fetched = deployment.client.read_policy(deployment.palaemon,
+                                                policy.name)
+        assert "--api-key=$$PALAEMON$API_KEY$$" not in \
+            fetched.services[0].command
+
+
+class TestGateTelemetry:
+    def test_findings_counted_by_code_and_severity(self, deployment):
+        policy = argv_leak_policy(deployment)
+        with pytest.raises(PolicyValidationError):
+            deployment.palaemon.create_policy(
+                policy, deployment.client.certificate, analyze=True)
+        counter = deployment.palaemon.telemetry.metrics.counter(
+            "palaemon_lint_findings_total",
+            code="PAL020", severity="critical")
+        assert counter.value >= 1
+
+    def test_analysis_is_audited(self, deployment):
+        policy = used_secret_policy(deployment)
+        deployment.palaemon.create_policy(
+            policy, deployment.client.certificate, analyze=True)
+        records = [record for record
+                   in deployment.palaemon.telemetry.audit_log.records
+                   if record.kind == "policy.analyze"]
+        assert len(records) == 1
+        assert records[0].details["policy"] == policy.name
+        assert records[0].details["critical"] == 0
+
+    def test_rejection_is_audited_too(self, deployment):
+        policy = argv_leak_policy(deployment)
+        with pytest.raises(PolicyValidationError):
+            deployment.palaemon.create_policy(
+                policy, deployment.client.certificate, analyze=True)
+        records = [record for record
+                   in deployment.palaemon.telemetry.audit_log.records
+                   if record.kind == "policy.analyze"]
+        assert len(records) == 1
+        assert records[0].details["critical"] >= 1
+
+    def test_analysis_emits_a_span(self, deployment):
+        policy = used_secret_policy(deployment)
+        deployment.palaemon.create_policy(
+            policy, deployment.client.certificate, analyze=True)
+        names = [span.name
+                 for span in deployment.palaemon.telemetry.spans()]
+        assert "policy.analyze" in names

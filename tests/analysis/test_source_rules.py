@@ -1,0 +1,262 @@
+"""AST source-rule tests over synthetic packages under tmp_path."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import Analyzer, repo_root
+from repro.analysis.findings import Severity
+from repro.analysis.suppress import apply_baseline, load_baseline
+
+
+def write_module(tmp_path, dotted, text):
+    """Materialise ``dotted`` (a module path) with its package chain."""
+    parts = dotted.split(".")
+    directory = tmp_path
+    for package in parts[:-1]:
+        directory = directory / package
+        directory.mkdir(exist_ok=True)
+        (directory / "__init__.py").touch()
+    path = directory / f"{parts[-1]}.py"
+    path.write_text(textwrap.dedent(text))
+    return path
+
+
+def lint(tmp_path, codes=None):
+    return Analyzer().analyze_sources(tmp_path / "repro", codes=codes,
+                                      base=tmp_path)
+
+
+class TestWallClock:
+    def test_time_call_in_sim_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.sim.bad", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        findings = lint(tmp_path)
+        assert {finding.code for finding in findings} == {"SRC101"}
+        assert {finding.line for finding in findings} == {1, 4}
+
+    def test_datetime_now_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.obs.bad", """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC101"]
+        assert findings[0].line == 4
+
+    def test_from_time_import_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.analysis.bad", """\
+            from time import monotonic
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC101"]
+
+    def test_comments_and_strings_do_not_trip(self, tmp_path):
+        write_module(tmp_path, "repro.sim.fine", '''\
+            # time.time() is banned here
+            DOC = "never call time.time() in the simulator"
+
+            def stamp(clock):
+                return clock()
+            ''')
+        assert lint(tmp_path) == []
+
+    def test_other_packages_may_use_the_clock(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert lint(tmp_path) == []
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            def swallow():
+                try:
+                    return 1
+                except:
+                    return None
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC102"]
+        assert findings[0].line == 4
+
+    def test_typed_except_is_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            def precise():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+            """)
+        assert lint(tmp_path) == []
+
+
+class TestRestErrorCodes:
+    def test_camel_case_code_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.rest", """\
+            def handler(respond):
+                respond(code="NotFound")
+                return {"code": "Bad-Code"}
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC103", "SRC103"]
+
+    def test_snake_case_code_is_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.rest", """\
+            def handler(respond):
+                respond(code="not_found")
+                return {"code": "internal"}
+            """)
+        assert lint(tmp_path) == []
+
+    def test_rule_only_applies_to_rest_module(self, tmp_path):
+        write_module(tmp_path, "repro.core.other", """\
+            def handler(respond):
+                respond(code="NotFound")
+            """)
+        assert lint(tmp_path) == []
+
+
+class TestUnauditedStateChange:
+    def test_direct_mutation_without_audit_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.service", """\
+            class PalaemonService:
+                def sneak(self, name):
+                    self.store.put("policies", name, {})
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC104"]
+        assert "sneak" in findings[0].message
+
+    def test_transitive_mutation_without_audit_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.service", """\
+            class PalaemonService:
+                def outer(self, name):
+                    self._inner(name)
+
+                def _inner(self, name):
+                    self.store.delete("policies", name)
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC104"]
+        assert "outer" in findings[0].message
+
+    def test_audited_mutation_is_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.service", """\
+            class PalaemonService:
+                def honest(self, name):
+                    self.store.put("policies", name, {})
+                    self.telemetry.audit("policy.create", policy=name)
+            """)
+        assert lint(tmp_path) == []
+
+    def test_transitive_audit_counts(self, tmp_path):
+        write_module(tmp_path, "repro.core.service", """\
+            class PalaemonService:
+                def outer(self, name):
+                    self.store.put("policies", name, {})
+                    self._record(name)
+
+                def _record(self, name):
+                    self.telemetry.audit("policy.create", policy=name)
+            """)
+        assert lint(tmp_path) == []
+
+    def test_read_only_method_is_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.service", """\
+            class PalaemonService:
+                def peek(self, name):
+                    return self.store.get("policies", name)
+            """)
+        assert lint(tmp_path) == []
+
+
+class TestEngineBehaviour:
+    def test_syntax_error_becomes_src100(self, tmp_path):
+        write_module(tmp_path, "repro.core.broken", """\
+            def oops(:
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC100"]
+        assert findings[0].severity is Severity.CRITICAL
+
+    def test_inline_suppression(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            def swallow():
+                try:
+                    return 1
+                except:  # palint: disable=SRC102
+                    return None
+            """)
+        assert lint(tmp_path) == []
+
+    def test_inline_all_suppression(self, tmp_path):
+        write_module(tmp_path, "repro.sim.bad", """\
+            import time  # palint: disable=all
+            """)
+        assert lint(tmp_path) == []
+
+    def test_code_filter(self, tmp_path):
+        write_module(tmp_path, "repro.sim.bad", """\
+            import time
+
+            def swallow():
+                try:
+                    return 1
+                except:
+                    return None
+            """)
+        findings = lint(tmp_path, codes={"SRC102"})
+        assert [finding.code for finding in findings] == ["SRC102"]
+
+    def test_unknown_code_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            lint(tmp_path, codes={"SRC999"})
+
+
+class TestBaseline:
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+    def test_baseline_suppresses_matching_identity(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            def swallow():
+                try:
+                    return 1
+                except:
+                    return None
+            """)
+        findings = lint(tmp_path)
+        assert len(findings) == 1
+        baseline_path = tmp_path / ".palint-baseline.json"
+        baseline_path.write_text(json.dumps(
+            {"version": 1, "suppress": [findings[0].identity()]}))
+        kept, dropped = apply_baseline(findings,
+                                       load_baseline(baseline_path))
+        assert kept == []
+        assert dropped == 1
+
+    def test_bad_baseline_shape_rejected(self, tmp_path):
+        path = tmp_path / ".palint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "suppress": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestRepoIsClean:
+    def test_shipping_tree_has_no_findings(self):
+        findings = Analyzer().analyze_repo(repo_root())
+        assert findings == [], "\n".join(
+            f"{finding.location}: [{finding.code}] {finding.message}"
+            for finding in findings)

@@ -114,3 +114,50 @@ class TestToDict:
         restored = SecurityPolicy.from_dict(
             document, certificate_registry=certificates)
         restored.validate()
+
+
+class TestImplicitThreshold:
+    """A missing board threshold defaults to unanimity — explicitly."""
+
+    def board_document(self, member_count=3):
+        rng = DeterministicRandom(b"implicit-threshold")
+        certificates = {}
+        members = []
+        for index in range(member_count):
+            name = f"m{index}"
+            keys = KeyPair.generate(rng.fork(name.encode()), bits=512)
+            certificates[f"{name}-cert"] = self_signed_certificate(name,
+                                                                   keys)
+            members.append({"name": name, "certificate": f"{name}-cert",
+                            "approval_endpoint": f"ep-{name}"})
+        return {"name": "implicit", "board": {"members": members}}, \
+            certificates
+
+    def test_missing_threshold_defaults_to_unanimity(self):
+        document, certificates = self.board_document(member_count=3)
+        policy = SecurityPolicy.from_dict(
+            document, certificate_registry=certificates)
+        assert policy.board.threshold == 3
+
+    def test_round_trip_makes_the_default_explicit(self):
+        document, certificates = self.board_document(member_count=3)
+        assert "threshold" not in document["board"]
+        policy = SecurityPolicy.from_dict(
+            document, certificate_registry=certificates)
+        serialized, _certs = policy.to_dict()
+        assert serialized["board"]["threshold"] == 3
+
+    def test_lint_warns_on_omitted_threshold(self):
+        from repro.analysis.engine import Analyzer
+
+        document, _certs = self.board_document(member_count=2)
+        findings = Analyzer().analyze_document("implicit", document)
+        assert "DOC001" in {finding.code for finding in findings}
+
+    def test_lint_silent_when_threshold_stated(self):
+        from repro.analysis.engine import Analyzer
+
+        document, _certs = self.board_document(member_count=2)
+        document["board"]["threshold"] = 2
+        findings = Analyzer().analyze_document("implicit", document)
+        assert "DOC001" not in {finding.code for finding in findings}

@@ -20,6 +20,12 @@ Commands
     policy documents (``--policy FILE``). ``--format=json`` for machine
     output, ``--list-rules`` for the catalogue; exit 1 on unsuppressed
     findings. See ``docs/ANALYSIS.md``.
+``chaos``
+    Run the seeded fault-injection scenario and print the recovery
+    summary. ``--seed`` picks the fault schedule's RNG seed,
+    ``--no-retry`` reproduces the pre-retry deadlock, and ``--check``
+    asserts the two driver-level invariants (same seed twice is
+    byte-identical; retries disabled deadlocks). See ``docs/CHAOS.md``.
 """
 
 from __future__ import annotations
@@ -104,6 +110,43 @@ def cmd_observe(seed: str = "observe") -> int:
     return 0 if print_observe_report(service) else 1
 
 
+def cmd_chaos(seed: int, check: bool, no_retry: bool) -> int:
+    """Run (or verify) the seeded chaos scenario."""
+    from repro.chaos import render_summary, run_chaos
+    from repro.errors import SimulationError
+
+    if no_retry:
+        try:
+            run_chaos(seed, retries=False)
+        except SimulationError as exc:
+            print(f"chaos (retries disabled): {exc}")
+            print("the scenario hangs without the retry layer, as expected")
+            return 0
+        print("chaos (retries disabled): unexpectedly completed",
+              file=sys.stderr)
+        return 1
+    if check:
+        first = render_summary(run_chaos(seed))
+        second = render_summary(run_chaos(seed))
+        if first != second:
+            print("chaos --check: two same-seed runs differ", file=sys.stderr)
+            return 1
+        try:
+            run_chaos(seed, retries=False)
+        except SimulationError:
+            pass
+        else:
+            print("chaos --check: the no-retry run should deadlock "
+                  "but completed", file=sys.stderr)
+            return 1
+        print(first)
+        print(f"chaos --check: seed {seed} deterministic; "
+              f"no-retry run deadlocks as expected")
+        return 0
+    print(render_summary(run_chaos(seed)))
+    return 0
+
+
 def cmd_examples() -> int:
     examples_dir = _repo_root() / "examples"
     for script in sorted(examples_dir.glob("*.py")):
@@ -133,6 +176,15 @@ def main(argv=None) -> int:
     subparsers.add_parser(
         "lint", add_help=False,
         help="static analysis: policy + source lint (palint)")
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded fault injection + recovery summary")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-schedule seed (same seed, same output)")
+    chaos.add_argument("--check", action="store_true",
+                       help="assert determinism and the no-retry deadlock")
+    chaos.add_argument("--no-retry", action="store_true",
+                       help="run without the retry layer (demonstrates "
+                            "the deadlock the retry layer fixes)")
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
@@ -147,6 +199,8 @@ def main(argv=None) -> int:
         return cmd_bench(args.ids)
     if args.command == "observe":
         return cmd_observe(args.seed)
+    if args.command == "chaos":
+        return cmd_chaos(args.seed, args.check, args.no_retry)
     return cmd_examples()
 
 

@@ -111,6 +111,45 @@ def check_bare_except(source: SourceFile) -> Iterator[Finding]:
                      "repro.errors is there to be caught precisely")
 
 
+#: The one module allowed to catch ``Exception``: the REST boundary turns
+#: arbitrary handler failures into error replies instead of killing the
+#: server loop. Everywhere else a broad catch hides the difference
+#: between a transient fault (retryable) and a security verdict (never
+#: retryable) — the exact conflation that let ``RollbackGuard`` mint a
+#: fresh counter during a counter outage.
+_BROAD_CATCH_BOUNDARY = "repro.core.rest"
+
+
+@rule("SRC105", "broad 'except Exception' outside the REST boundary",
+      scope="source", severity=Severity.ERROR,
+      hint="catch the concrete repro.errors type the caller can act on")
+def check_broad_except(source: SourceFile) -> Iterator[Finding]:
+    if source.module == _BROAD_CATCH_BOUNDARY:
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _catches_exception(node.type):
+            yield Finding(
+                code="SRC105", severity=Severity.ERROR,
+                subject=source.display, line=node.lineno,
+                message=("'except Exception' outside the REST boundary "
+                         "conflates transient faults with security "
+                         "verdicts (rollback, attestation, access "
+                         "denials) and masks real failures"),
+                hint="name the repro.errors class; only repro.core.rest "
+                     "may catch Exception (to map failures to replies)")
+
+
+def _catches_exception(handler_type) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id == "Exception"
+    if isinstance(handler_type, ast.Tuple):
+        return any(_catches_exception(element)
+                   for element in handler_type.elts)
+    return False
+
+
 @rule("SRC103", "non-snake_case REST error code", scope="source",
       severity=Severity.ERROR,
       hint="REST error codes are API surface: ^[a-z][a-z0-9_]*$")

@@ -59,6 +59,41 @@ class PalaemonClient:
                 "instance certificate does not match its public key")
         self.attested_instances.add(instance.name)
 
+    def attest_instance_via_rest(self, rest_client, ca_root: PublicKey,
+                                 retry_policy=None, rng=None):
+        """Path 1 over the wire: fetch ``instance.describe`` and verify.
+
+        A simulation process. Unlike :meth:`attest_instance_via_ca` this
+        works against a remote front-end the client can only reach over
+        the network; with a ``retry_policy`` (and the ``rng`` its jitter
+        draws from) the describe call survives transient faults. The
+        certificate checks themselves are never retried — a bad
+        certificate is a verdict, not a fault.
+        """
+        simulator = rest_client.connection.network.simulator
+        if retry_policy is not None:
+            if rng is None:
+                raise AttestationError(
+                    "retrying attestation needs a deterministic rng")
+            description = yield from rest_client.call_with_retry(
+                "instance.describe", retry_policy, rng)
+        else:
+            description = yield from rest_client.call("instance.describe")
+        certificate = description.get("certificate")
+        if certificate is None:
+            raise AttestationError(
+                f"instance {description.get('name')!r} has no CA certificate")
+        try:
+            certificate.verify(now=simulator.now, trusted_root=ca_root)
+        except CertificateError as exc:
+            raise AttestationError(
+                f"instance certificate rejected: {exc}") from exc
+        if certificate.public_key != description.get("public_key"):
+            raise AttestationError(
+                "instance certificate does not match its public key")
+        self.attested_instances.add(description["name"])
+        return description
+
     def attest_instance_explicitly(self, instance: PalaemonService,
                                    ias: IntelAttestationService,
                                    trusted_mrenclaves: FrozenSet[bytes],

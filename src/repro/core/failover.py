@@ -26,10 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, List
 
+from typing import Optional
+
 from repro.core.service import PalaemonService
-from repro.errors import PolicyError, RollbackDetectedError
-from repro.sim.core import Event, Simulator
-from repro.sim.network import Site, rtt_between
+from repro.crypto.primitives import DeterministicRandom
+from repro.errors import PolicyError, RetryExhaustedError, RollbackDetectedError
+from repro.sim.core import Event, ProcessInterrupt, Simulator
+from repro.sim.network import Network, Site, rtt_between
+from repro.sim.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -51,11 +55,27 @@ class ReplicaState:
 
 
 class FailoverCoordinator:
-    """Manages a primary and one synchronous backup."""
+    """Manages a primary and one synchronous backup.
+
+    Two replication transports:
+
+    - **legacy** (``network=None``) — replication is modelled as one round
+      trip of latency and the backup acknowledges unconditionally.
+    - **network** (``network`` given) — updates travel as messages between
+      real ``{name}-repl`` endpoints, so a partition or an attached
+      :class:`~repro.sim.faults.FaultPlan` genuinely prevents the ack.
+      :meth:`replicate` then retries under ``retry_policy`` and, on
+      giving up, leaves :meth:`replication_lag` > 0 — which
+      :meth:`promote_backup` honours by replaying only the updates the
+      backup actually acknowledged (bounded-freshness fail-over).
+    """
 
     def __init__(self, primary: PalaemonService, backup: PalaemonService,
                  primary_site: Site = Site.SAME_DC,
-                 backup_site: Site = Site.SAME_DC) -> None:
+                 backup_site: Site = Site.SAME_DC,
+                 network: Optional[Network] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng: Optional[DeterministicRandom] = None) -> None:
         if primary.platform is backup.platform:
             raise PolicyError(
                 "backup must run on a different platform (its own counter)")
@@ -68,6 +88,22 @@ class FailoverCoordinator:
         self._replica = ReplicaState()
         self.active: PalaemonService = primary
         self.fenced: List[str] = []
+        self.network = network
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=4, base_delay=0.05, attempt_timeout=0.5)
+        self._rng = rng or DeterministicRandom(b"failover-retry")
+        #: Updates the primary committed locally but the backup has not
+        #: acknowledged; resent in order on every attempt.
+        self._pending: List[StateUpdate] = []
+        self._primary_ep = None
+        self._backup_ep = None
+        if network is not None:
+            self._primary_ep = network.endpoint(
+                f"{primary.name}-repl", primary_site)
+            self._backup_ep = network.endpoint(
+                f"{backup.name}-repl", backup_site)
+            self.simulator.process(self._backup_serve_loop(),
+                                   name=f"repl-serve-{backup.name}")
 
     @property
     def simulator(self) -> Simulator:
@@ -92,16 +128,88 @@ class FailoverCoordinator:
             started = self.simulator.now
             self.primary.store.put(table, key, value)
             self.primary.store.commit_instant()
-            yield self.simulator.timeout(
-                rtt_between(self.primary_site, self.backup_site))
+            if self.network is None:
+                yield self.simulator.timeout(
+                    rtt_between(self.primary_site, self.backup_site))
+                self._replica.updates.append(update)
+                self._replica.applied_sequence = update.sequence
+            else:
+                self._pending.append(update)
+                try:
+                    ack = yield from self._replicate_pending(update.sequence)
+                except RetryExhaustedError:
+                    # Locally committed but unacknowledged: the lag gauge
+                    # goes positive and promote_backup() will not expose
+                    # this update.
+                    telemetry.gauge("palaemon_failover_replication_lag",
+                                    self.replication_lag())
+                    raise
+                self._pending = [u for u in self._pending
+                                 if u.sequence > ack]
             telemetry.observe("palaemon_failover_replication_seconds",
                               self.simulator.now - started)
-        self._replica.updates.append(update)
-        self._replica.applied_sequence = update.sequence
         telemetry.inc("palaemon_failover_replications_total")
         telemetry.gauge("palaemon_failover_replication_lag",
                         self.replication_lag())
         return update.sequence
+
+    def _replicate_pending(self, target_sequence: int,
+                           ) -> Generator[Event, Any, int]:
+        """Send all unacked updates; wait for a cumulative ack covering
+        ``target_sequence``, retrying under the coordinator's policy."""
+
+        def attempt() -> Generator[Event, Any, int]:
+            self._primary_ep.send(
+                self._backup_ep,
+                {"kind": "repl", "updates": list(self._pending)},
+                size_bytes=256 + 128 * len(self._pending),
+                reply_to=self._primary_ep)
+            while True:
+                pending = self._primary_ep.receive()
+                try:
+                    message = yield pending
+                except ProcessInterrupt:
+                    self._primary_ep.inbox.cancel(pending)
+                    raise
+                payload = message.payload
+                if not isinstance(payload, dict) or "ack" not in payload:
+                    continue
+                if payload["ack"] >= target_sequence:
+                    return payload["ack"]
+                # A stale (lower) cumulative ack: keep waiting.
+
+        ack = yield self.simulator.process(self.retry_policy.call(
+            self.simulator, attempt, self._rng,
+            operation="failover.replicate",
+            telemetry=self.primary.telemetry),
+            name="failover-replicate-retry")
+        return ack
+
+    def _backup_serve_loop(self) -> Generator[Event, Any, None]:
+        """Apply replication batches in order; reply with cumulative acks.
+
+        Duplicated or re-sent updates are idempotent: only the next
+        expected sequence number is applied, everything else is skipped
+        and re-acknowledged.
+        """
+        from repro.sim.resources import StoreClosed
+
+        while True:
+            try:
+                message = yield self._backup_ep.receive()
+            except StoreClosed:
+                return
+            payload = message.payload
+            if not isinstance(payload, dict) or payload.get("kind") != "repl":
+                continue
+            for update in payload["updates"]:
+                if update.sequence == self._replica.applied_sequence + 1:
+                    self._replica.updates.append(update)
+                    self._replica.applied_sequence = update.sequence
+            if message.reply_to is not None:
+                self._backup_ep.send(
+                    message.reply_to,
+                    {"ack": self._replica.applied_sequence}, size_bytes=64)
 
     # -- fail-over -----------------------------------------------------------
 

@@ -16,14 +16,24 @@ other KMSs (§VII). This module implements that federation layer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
+import repro.errors as errors
 from repro.core.service import PalaemonService
+from repro.crypto.primitives import DeterministicRandom, hkdf, sha256
 from repro.crypto.signatures import PublicKey
-from repro.errors import AccessDeniedError, AttestationError, PolicyNotFoundError
-from repro.sim.core import Event, Simulator
-from repro.sim.network import Site, rtt_between
+from repro.crypto.symmetric import SecretBox
+from repro.errors import (
+    AccessDeniedError,
+    AttestationError,
+    PolicyNotFoundError,
+    ReproError,
+)
+from repro.sim.core import Event, ProcessInterrupt, Simulator
+from repro.sim.network import Network, Site, rtt_between
+from repro.sim.retry import RetryPolicy
 from repro.tls.handshake import handshake_latency
 
 
@@ -34,17 +44,49 @@ class PeerLink:
     peer: "FederatedInstance"
     established: bool = False
     requests: int = 0
+    #: AEAD box for link traffic in network mode (None in legacy mode).
+    box: Optional[SecretBox] = field(default=None, repr=False)
 
 
 class FederatedInstance:
-    """A PALAEMON instance participating in a federation mesh."""
+    """A PALAEMON instance participating in a federation mesh.
+
+    Two transport modes:
+
+    - **legacy** (``network=None``) — peer traffic is modelled as pure
+      latency (:func:`rtt_between`); the remote handler runs in-process.
+      Kept because it is what single-threaded benchmarks (Fig 12) need.
+    - **network** (``network`` given) — every instance owns a real
+      ``fed-{name}`` endpoint and a serve loop; fetches are request/reply
+      messages that can be dropped, duplicated, delayed, or blacked out
+      by an attached :class:`~repro.sim.faults.FaultPlan`, and payloads
+      cross the wire AEAD-sealed under a per-link key derived at peering
+      (the paper's "all peer traffic is TLS", checkable via the wire log).
+    """
 
     def __init__(self, service: PalaemonService, site: Site,
-                 ca_root: PublicKey) -> None:
+                 ca_root: PublicKey,
+                 network: Optional[Network] = None,
+                 rng: Optional[DeterministicRandom] = None) -> None:
         self.service = service
         self.site = site
         self.ca_root = ca_root
         self._links: Dict[str, PeerLink] = {}
+        self.network = network
+        self._rng = rng or DeterministicRandom(
+            b"federation:" + service.name.encode())
+        self._request_seq = 0
+        #: Serve endpoint (requests in) and client endpoint (replies in).
+        #: Distinct so the serve loop's mailbox getter can never consume a
+        #: reply meant for an in-flight fetch.
+        self.endpoint = None
+        self.client_endpoint = None
+        if network is not None:
+            self.endpoint = network.endpoint(f"fed-{service.name}", site)
+            self.client_endpoint = network.endpoint(
+                f"fed-{service.name}-client", site)
+            self.simulator.process(self._serve_loop(),
+                                   name=f"fed-serve-{service.name}")
 
     @property
     def simulator(self) -> Simulator:
@@ -72,8 +114,23 @@ class FederatedInstance:
                     f"for a different key")
         yield self.simulator.timeout(
             handshake_latency(self.site, other.site))
-        self._links[other.name] = PeerLink(peer=other, established=True)
-        other._links[self.name] = PeerLink(peer=self, established=True)
+        link_key = None
+        if self.network is not None and other.network is not None:
+            # Per-link AEAD key, derived at peering like a TLS master
+            # secret; both sides hold the same key but fork their own
+            # nonce streams.
+            link_key = hkdf(sha256(
+                *sorted((self.service.public_key.to_bytes(),
+                         other.service.public_key.to_bytes()))),
+                b"palaemon-federation-link")
+        self._links[other.name] = PeerLink(
+            peer=other, established=True,
+            box=SecretBox(link_key, self._rng.fork(
+                b"link:" + other.name.encode())) if link_key else None)
+        other._links[self.name] = PeerLink(
+            peer=self, established=True,
+            box=SecretBox(link_key, other._rng.fork(
+                b"link:" + self.name.encode())) if link_key else None)
         for side, counterpart in ((self, other), (other, self)):
             side.service.telemetry.inc("palaemon_federation_peers_total")
             side.service.telemetry.gauge("palaemon_federation_peer_links",
@@ -104,18 +161,129 @@ class FederatedInstance:
         telemetry = self.service.telemetry
         with telemetry.span("federation.fetch", peer=peer_name,
                             policy=policy_name):
-            round_trip = rtt_between(self.site, link.peer.site)
-            yield self.simulator.timeout(round_trip)
-            link.requests += 1
-            secrets = link.peer._serve_secret_request(policy_name,
-                                                      requesting_policy,
-                                                      secret_names)
+            if (self.network is not None and link.box is not None
+                    and link.peer.endpoint is not None):
+                secrets = yield from self._fetch_over_network(
+                    link, policy_name, requesting_policy, secret_names)
+            else:
+                round_trip = rtt_between(self.site, link.peer.site)
+                yield self.simulator.timeout(round_trip)
+                link.requests += 1
+                secrets = link.peer._serve_secret_request(policy_name,
+                                                          requesting_policy,
+                                                          secret_names)
         telemetry.inc("palaemon_federation_fetches_total")
         telemetry.audit("federation.fetch", peer=peer_name,
                         policy=policy_name,
                         requesting_policy=requesting_policy,
                         secrets=len(secrets))
         return secrets
+
+    def fetch_remote_secrets_with_retry(
+            self, peer_name: str, policy_name: str, requesting_policy: str,
+            secret_names: List[str],
+            retry_policy: Optional[RetryPolicy] = None,
+            rng: Optional[DeterministicRandom] = None,
+            ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """:meth:`fetch_remote_secrets` under a bounded retry budget.
+
+        The default policy gives every attempt a 1 s deadline, so a
+        partition turns into :class:`DeadlineExceededError` + backoff
+        instead of an unbounded hang; if the partition outlasts the
+        budget, :class:`~repro.errors.RetryExhaustedError` propagates.
+        """
+        retry_policy = retry_policy or RetryPolicy(
+            max_attempts=5, base_delay=0.1, attempt_timeout=1.0)
+        rng = rng or self._rng.fork(b"fetch-retry")
+        result = yield self.simulator.process(retry_policy.call(
+            self.simulator,
+            lambda: self.fetch_remote_secrets(
+                peer_name, policy_name, requesting_policy, secret_names),
+            rng, operation="federation.fetch",
+            telemetry=self.service.telemetry),
+            name=f"fed-fetch-retry-{self.name}")
+        return result
+
+    def _fetch_over_network(self, link: PeerLink, policy_name: str,
+                            requesting_policy: str, secret_names: List[str],
+                            ) -> Generator[Event, Any, Dict[str, bytes]]:
+        """One sealed request/reply over the message fabric."""
+        self._request_seq += 1
+        rid = self._request_seq
+        request = {"kind": "fetch", "rid": rid, "policy": policy_name,
+                   "requesting_policy": requesting_policy,
+                   "secrets": list(secret_names)}
+        self.client_endpoint.send(
+            link.peer.endpoint,
+            {"from": self.name, "data": link.box.seal(pickle.dumps(request))},
+            size_bytes=512, reply_to=self.client_endpoint)
+        link.requests += 1
+        while True:
+            pending = self.client_endpoint.receive()
+            try:
+                message = yield pending
+            except ProcessInterrupt:
+                # Abandoned by a with_timeout deadline: release the
+                # mailbox getter so a retry sees the next reply.
+                self.client_endpoint.inbox.cancel(pending)
+                raise
+            payload = message.payload
+            if not isinstance(payload, dict) or "data" not in payload:
+                continue
+            peer_link = self._links.get(payload.get("from"))
+            if peer_link is None or peer_link.box is None:
+                continue
+            reply = pickle.loads(peer_link.box.open(payload["data"]))
+            if reply.get("rid") != rid:
+                continue  # stale reply from a timed-out attempt
+            if "error_kind" in reply:
+                exc_cls = getattr(errors, reply["error_kind"], ReproError)
+                raise exc_cls(reply["message"])
+            return reply["secrets"]
+
+    def _serve_loop(self) -> Generator[Event, Any, None]:
+        """Answer sealed fetch requests arriving on the serve endpoint.
+
+        A Byzantine or faulty sender cannot crash the loop: messages that
+        are malformed, from unknown peers, or fail AEAD verification are
+        dropped like a TLS alert. Policy refusals travel back as typed
+        error replies (``error_kind`` names the exception class) so the
+        client re-raises the *same* verdict it would get in-process.
+        """
+        from repro.errors import CryptoError
+        from repro.sim.resources import StoreClosed
+
+        while True:
+            try:
+                message = yield self.endpoint.receive()
+            except StoreClosed:
+                return
+            payload = message.payload
+            if not isinstance(payload, dict) or "data" not in payload:
+                continue
+            link = self._links.get(payload.get("from"))
+            if link is None or link.box is None:
+                continue
+            try:
+                request = pickle.loads(link.box.open(payload["data"]))
+            except CryptoError:
+                continue
+            if not isinstance(request, dict) or request.get("kind") != "fetch":
+                continue
+            reply: Dict[str, Any] = {"rid": request.get("rid")}
+            try:
+                reply["secrets"] = self._serve_secret_request(
+                    request["policy"], request["requesting_policy"],
+                    request["secrets"])
+            except ReproError as exc:
+                reply["error_kind"] = type(exc).__name__
+                reply["message"] = str(exc)
+            if message.reply_to is not None:
+                self.endpoint.send(
+                    message.reply_to,
+                    {"from": self.name,
+                     "data": link.box.seal(pickle.dumps(reply))},
+                    size_bytes=512)
 
     def _serve_secret_request(self, policy_name: str, requesting_policy: str,
                               secret_names: List[str]) -> Dict[str, bytes]:

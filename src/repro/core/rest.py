@@ -31,8 +31,9 @@ from repro.core.client import PalaemonClient
 from repro.core.service import PalaemonService
 from repro.crypto.primitives import DeterministicRandom
 from repro.errors import ReproError
-from repro.sim.core import Event
+from repro.sim.core import Event, ProcessInterrupt
 from repro.sim.network import Endpoint, Network, Site
+from repro.sim.retry import DEFAULT_RETRYABLE, RetryPolicy
 from repro.tls.channel import TLSConnection, TLSServer
 from repro.tls.handshake import TLSSession
 
@@ -175,18 +176,48 @@ class PalaemonRestClient:
         return cls(connection)
 
     def call(self, route: str, **fields) -> Generator[Event, Any, Any]:
-        """One request/response; raises on error replies."""
+        """One request/response; raises on error replies.
+
+        Interruption (a :meth:`Simulator.with_timeout` deadline on this
+        call) cascades into the underlying TLS request so the abandoned
+        attempt releases its mailbox getter instead of stealing the next
+        reply.
+        """
         payload = {"route": route}
         payload.update(fields)
         simulator = self.connection.network.simulator
         started = simulator.now
-        reply = yield simulator.process(self.connection.request(payload))
+        inner = simulator.process(self.connection.request(payload),
+                                  name=f"rest-request-{route}")
+        try:
+            reply = yield inner
+        except ProcessInterrupt:
+            if not inner.triggered:
+                inner.interrupt("caller abandoned the request")
+            raise
         self.telemetry.observe("palaemon_rest_client_seconds",
                                simulator.now - started, route=route)
         if "error" in reply:
             raise RemoteError(reply.get("kind", "ReproError"),
                               reply["error"], code=reply.get("code"))
         return reply["ok"]
+
+    def call_with_retry(self, route: str, policy: RetryPolicy,
+                        rng: DeterministicRandom, *,
+                        retry_on=DEFAULT_RETRYABLE,
+                        **fields) -> Generator[Event, Any, Any]:
+        """Like :meth:`call`, but with bounded retries under ``policy``.
+
+        Only transport-level faults (deadline expiry, network errors) are
+        retried by default; an error *reply* from the server is a verdict
+        and propagates immediately as :class:`RemoteError`.
+        """
+        simulator = self.connection.network.simulator
+        result = yield simulator.process(policy.call(
+            simulator, lambda: self.call(route, **fields), rng,
+            operation=f"rest.{route}", retry_on=retry_on,
+            telemetry=self.telemetry), name=f"rest-retry-{route}")
+        return result
 
 
 def error_code(exc: BaseException) -> str:

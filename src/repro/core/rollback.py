@@ -26,7 +26,11 @@ from typing import Any, Generator
 from typing import Optional
 
 from repro.core.store import PolicyStore
-from repro.errors import ConcurrentInstanceError, StaleDatabaseError
+from repro.errors import (
+    ConcurrentInstanceError,
+    CounterNotFoundError,
+    StaleDatabaseError,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.core import Event
 from repro.tee.counters import PlatformCounterService
@@ -51,10 +55,18 @@ class RollbackGuard:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def ensure_counter(self) -> None:
-        """Create the hardware counter on first installation."""
+        """Create the hardware counter on first installation.
+
+        Only :class:`CounterNotFoundError` means "never installed". A
+        transient outage (:class:`~repro.errors.CounterUnavailableError`)
+        must propagate: minting a *fresh* counter while the real one is
+        unreachable would silently discard the rollback protection the
+        counter exists to provide — the old ``except Exception`` here did
+        exactly that.
+        """
         try:
             self.counters.read(self.counter_id)
-        except Exception:
+        except CounterNotFoundError:
             self.counters.create(self.counter_id)
 
     def startup(self) -> Generator[Event, Any, None]:

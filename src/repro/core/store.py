@@ -19,7 +19,7 @@ from typing import Any, Dict, Generator
 from repro import calibration
 from repro.crypto.primitives import DeterministicRandom
 from repro.crypto.symmetric import SecretBox
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, PolicyValidationError
 from repro.fs.blockstore import BlockStore
 from repro.sim.core import Event, Simulator
 from repro.sim.resources import DiskModel
@@ -80,7 +80,12 @@ class PolicyStore:
 
     def set_version(self, version: int) -> None:
         if version < self._data["version"]:
-            raise ValueError("database version must not decrease")
+            # A typed error, not a bare ValueError: callers routing errors
+            # over the REST layer map exception classes to stable codes,
+            # and a decreasing version is a policy-integrity refusal.
+            raise PolicyValidationError(
+                f"database version must not decrease "
+                f"({version} < {self._data['version']})")
         self._data["version"] = version
 
     # -- tables ------------------------------------------------------------

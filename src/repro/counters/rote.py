@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator, List
 
 from repro.counters.base import MonotonicCounter
-from repro.errors import CounterError
+from repro.errors import CounterError, CounterUnavailableError
 from repro.sim.core import Event, Simulator
 from repro.sim.network import Site, rtt_between
 
@@ -52,6 +52,17 @@ class ROTECounterGroup(MonotonicCounter):
         self.replicas: List[_Replica] = [
             _Replica(i, site) for i in range(group_size)]
         self._value = 0
+        #: Fault injection (:class:`repro.sim.faults.FaultPlan`), attached
+        #: via ``FaultPlan.attach_counters``.
+        self.fault_plan = None
+        self.fault_name = "rote-group"
+
+    def _check_available(self) -> None:
+        if (self.fault_plan is not None
+                and self.fault_plan.counter_unavailable(self.fault_name)):
+            raise CounterUnavailableError(
+                f"ROTE group {self.fault_name!r} is unreachable "
+                f"(injected outage)")
 
     @property
     def name(self) -> str:
@@ -66,6 +77,7 @@ class ROTECounterGroup(MonotonicCounter):
         self.replicas[replica_id].alive = False
 
     def increment(self) -> Generator[Event, Any, int]:
+        self._check_available()
         proposed = self._value + 1
         # One round: send to all replicas, wait for a quorum of acks. The
         # round costs a LAN round trip plus per-replica processing,
@@ -80,4 +92,5 @@ class ROTECounterGroup(MonotonicCounter):
         return self._value
 
     def read(self) -> int:
+        self._check_available()
         return self._value

@@ -11,7 +11,7 @@ from typing import Any, Generator
 
 from repro import calibration
 from repro.counters.base import MonotonicCounter
-from repro.errors import CounterWearError
+from repro.errors import CounterUnavailableError, CounterWearError
 from repro.sim.core import Event, Simulator
 
 
@@ -28,12 +28,23 @@ class TPMCounter(MonotonicCounter):
         self._value = 0
         self._writes = 0
         self._next_allowed = 0.0
+        #: Fault injection (:class:`repro.sim.faults.FaultPlan`), attached
+        #: via ``FaultPlan.attach_counters``.
+        self.fault_plan = None
+        self.fault_name = "tpm"
 
     @property
     def name(self) -> str:
         return "TPM counter"
 
+    def _check_available(self) -> None:
+        if (self.fault_plan is not None
+                and self.fault_plan.counter_unavailable(self.fault_name)):
+            raise CounterUnavailableError(
+                f"TPM {self.fault_name!r} is unreachable (injected outage)")
+
     def increment(self) -> Generator[Event, Any, int]:
+        self._check_available()
         if self._writes >= self.wear_limit:
             raise CounterWearError(
                 f"TPM counter exceeded its {self.wear_limit}-write endurance")
@@ -47,6 +58,7 @@ class TPMCounter(MonotonicCounter):
         return self._value
 
     def read(self) -> int:
+        self._check_available()
         return self._value
 
     @property

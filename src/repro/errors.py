@@ -41,6 +41,33 @@ class NetworkError(SimulationError):
     """A message could not be delivered (unknown site, closed endpoint)."""
 
 
+class DeadlineExceededError(SimulationError):
+    """An awaited event did not fire before its deadline
+    (:meth:`Simulator.with_timeout`)."""
+
+
+class RetryExhaustedError(SimulationError):
+    """A retried operation failed on every attempt and gave up.
+
+    ``attempts`` is how many attempts ran; ``last_error`` is the failure of
+    the final one (also chained as ``__cause__``).
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class FaultInjectedError(SimulationError):
+    """Base class for failures injected by a :class:`FaultPlan`."""
+
+
+class StorageFaultError(FaultInjectedError):
+    """An injected disk-commit or block-store failure."""
+
+
 class TEEError(ReproError):
     """Base class for simulated-SGX platform errors."""
 
@@ -63,6 +90,19 @@ class CounterError(TEEError):
 
 class CounterWearError(CounterError):
     """A monotonic counter exceeded its write-endurance budget."""
+
+
+class CounterNotFoundError(CounterError):
+    """The named monotonic counter does not exist (never created)."""
+
+
+class CounterUnavailableError(CounterError):
+    """The counter service is temporarily unreachable (outage, not loss).
+
+    Transient by construction: retrying after the outage window may
+    succeed. Crucially distinct from :class:`CounterNotFoundError` —
+    responding to *this* error by creating a fresh counter would destroy
+    rollback protection."""
 
 
 class FileSystemError(ReproError):

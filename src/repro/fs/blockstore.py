@@ -21,14 +21,22 @@ class BlockStore:
         self._files: Dict[str, bytes] = {}
         self.write_count = 0
         self.read_count = 0
+        #: Fault-injection hook ``hook(operation, path)`` installed by
+        #: :meth:`repro.sim.faults.FaultPlan.attach_blockstore`; raises
+        #: :class:`repro.errors.StorageFaultError` during fault windows.
+        self.fault_hook = None
 
     # -- normal operation --------------------------------------------------
 
     def write(self, path: str, data: bytes) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook("write", path)
         self._files[path] = data
         self.write_count += 1
 
     def read(self, path: str) -> bytes:
+        if self.fault_hook is not None:
+            self.fault_hook("read", path)
         self.read_count += 1
         try:
             return self._files[path]

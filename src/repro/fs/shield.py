@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.crypto.primitives import DeterministicRandom, sha256
 from repro.crypto.symmetric import SecretBox
-from repro.errors import IntegrityError, TagMismatchError
+from repro.errors import IntegrityError, StorageFaultError, TagMismatchError
 from repro.fs.blockstore import BlockStore
 from repro.fs.fspf import FileSystemProtectionFile
 
@@ -54,6 +54,11 @@ class ProtectedFileSystem:
         """
         actual = self.tag()
         if actual != expected_tag:
+            # The volume failed its freshness check: every cached
+            # plaintext was decrypted from state that can no longer be
+            # trusted, so serving it from read() would leak exactly what
+            # the tag check exists to prevent.
+            self._cache.clear()
             raise TagMismatchError(
                 f"file system tag mismatch on {self.store.name!r}: "
                 f"expected {expected_tag.hex()[:16]}..., "
@@ -112,7 +117,26 @@ class ProtectedFileSystem:
         return self._persist()
 
     def sync(self) -> bytes:
-        """Explicit sync: persist and push the tag (§III-D event ii)."""
+        """Explicit sync: persist and push the tag (§III-D event ii).
+
+        Sync is also the revalidation point for the plaintext cache: an
+        entry whose backing ciphertext no longer matches its FSPF hash
+        (tampered, deleted, or unreadable underneath us) is evicted, so a
+        later read() re-verifies against the store instead of serving a
+        plaintext the store no longer backs.
+        """
+        for path in list(self._cache):
+            entry = self._fspf.entries.get(path)
+            if entry is None or not self.store.exists(path):
+                self._cache.pop(path)
+                continue
+            try:
+                ciphertext = self.store.read(path)
+            except StorageFaultError:
+                self._cache.pop(path)
+                continue
+            if sha256(ciphertext) != entry.ciphertext_hash:
+                self._cache.pop(path)
         return self._persist()
 
     def on_exit(self) -> bytes:

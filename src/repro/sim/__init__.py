@@ -14,6 +14,8 @@ from repro.sim.latency import LatencyModel, ConstantLatency, ExponentialLatency
 from repro.sim.network import Network, Site, Endpoint, Message
 from repro.sim.metrics import LatencyRecorder, ThroughputMeter, percentile
 from repro.sim.workload import OpenLoopGenerator, ClosedLoopGenerator
+from repro.sim.faults import FaultPlan, LinkFault, Window
+from repro.sim.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
     "ClosedLoopGenerator",
@@ -21,18 +23,23 @@ __all__ = [
     "Endpoint",
     "Event",
     "ExponentialLatency",
+    "FaultPlan",
     "LatencyModel",
     "LatencyRecorder",
+    "LinkFault",
     "Message",
+    "NO_RETRY",
     "Network",
     "OpenLoopGenerator",
     "Process",
     "Resource",
+    "RetryPolicy",
     "SimLock",
     "Simulator",
     "Site",
     "Store",
     "ThroughputMeter",
     "Timeout",
+    "Window",
     "percentile",
 ]

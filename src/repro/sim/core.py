@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.errors import SimTimeError, SimulationError
+from repro.errors import DeadlineExceededError, SimTimeError, SimulationError
 
 
 class Event:
@@ -207,6 +207,45 @@ class Simulator:
                 event.callbacks.append(make_callback(index))
         if not gate.triggered and remaining[0] == 0:
             gate.succeed(list(results))
+        return gate
+
+    def with_timeout(self, event: Event, deadline: float) -> Event:
+        """An event mirroring ``event``, failed with
+        :class:`DeadlineExceededError` if it has not fired within
+        ``deadline`` seconds of virtual time from now.
+
+        The inner event is not descheduled — simulation time is virtual,
+        so letting it fire late is free — but a late *failure* is
+        swallowed rather than crashing the loop, and if the inner event
+        is an unfinished :class:`Process` it is interrupted so it can
+        release resources (cancel mailbox getters, run ``finally``
+        blocks) instead of consuming messages meant for a retry.
+        """
+        if deadline < 0:
+            raise SimTimeError(f"negative timeout deadline: {deadline}")
+        gate = self.event()
+
+        def on_event(inner: Event) -> None:
+            if gate.triggered:
+                return
+            if inner.failed:
+                gate.fail(inner.failure)
+            else:
+                gate.succeed(inner.value)
+
+        def on_timer(_timer: Event) -> None:
+            if gate.triggered:
+                return
+            gate.fail(DeadlineExceededError(
+                f"event did not fire within {deadline}s"))
+            if isinstance(event, Process) and not event.triggered:
+                event.interrupt(f"deadline of {deadline}s exceeded")
+
+        if event.processed:
+            on_event(event)
+        else:
+            event.callbacks.append(on_event)
+        self.timeout(deadline).callbacks.append(on_timer)
         return gate
 
     # -- scheduling internals -------------------------------------------

@@ -114,6 +114,18 @@ class Endpoint:
         self._closed = True
         self.inbox.close()
 
+    def reopen(self) -> None:
+        """Bring a closed endpoint back (a restarted front-end).
+
+        The old inbox is gone with the process that owned it: pending
+        getters already failed when it closed, and queued messages are
+        lost, exactly like a socket reopened after a crash.
+        """
+        if not self._closed:
+            return
+        self._closed = False
+        self.inbox = Store(self.network.simulator, name=f"{self.name}-inbox")
+
 
 class Network:
     """The message fabric: computes delays and delivers to mailboxes.
@@ -137,14 +149,24 @@ class Network:
         self.wire_log: list = []
         self.wire_log_enabled = False
         self._partitions: set = set()
+        #: Optional fault injection (:class:`repro.sim.faults.FaultPlan`);
+        #: attach via ``FaultPlan.attach_network``.
+        self.fault_plan = None
 
     def endpoint(self, name: str, site: Site = Site.SAME_RACK) -> Endpoint:
-        """Create (or fetch) the named endpoint at ``site``."""
+        """Create (or fetch) the named endpoint at ``site``.
+
+        Reusing the name of a *closed* endpoint reopens it with a fresh
+        inbox — returning the closed object as-is would hand the caller
+        a mailbox whose every ``send()`` raises forever.
+        """
         if name in self._endpoints:
             existing = self._endpoints[name]
             if existing.site != site:
                 raise NetworkError(
                     f"endpoint {name!r} already exists at {existing.site}")
+            if existing._closed:
+                existing.reopen()
             return existing
         endpoint = Endpoint(self, name, site)
         self._endpoints[name] = endpoint
@@ -167,18 +189,37 @@ class Network:
     def deliver(self, source: Endpoint, destination: Endpoint,
                 message: Message) -> None:
         if frozenset((source.name, destination.name)) in self._partitions:
+            if self.fault_plan is not None:
+                self.fault_plan._record("partition")
             return  # dropped silently, like a real partition
-        delay = self.one_way_delay(source.site, destination.site,
-                                   message.size_bytes)
+        copies = 1
+        extra_delay = 0.0
+        if self.fault_plan is not None:
+            fate, extra_delay = self.fault_plan.message_fate(
+                source.name, destination.name)
+            if fate == "drop":
+                return
+            if fate == "duplicate":
+                copies = 2
         if self.wire_log_enabled:
             self.wire_log.append((self.simulator.now, source.name,
                                   destination.name, message.payload))
 
         def arrival(_event: Event) -> None:
-            if not destination._closed:
-                destination.inbox.put(message)
-                destination.bytes_received += message.size_bytes
-                self.messages_delivered += 1
+            if destination._closed:
+                return
+            if (self.fault_plan is not None
+                    and self.fault_plan.endpoint_blacked_out(
+                        destination.name)):
+                self.fault_plan._record("blackout")
+                return
+            destination.inbox.put(message)
+            destination.bytes_received += message.size_bytes
+            self.messages_delivered += 1
 
-        timer = self.simulator.timeout(delay)
-        timer.callbacks.append(arrival)
+        for _copy in range(copies):
+            # Each copy draws its own jitter, so duplicates arrive apart.
+            delay = self.one_way_delay(source.site, destination.site,
+                                       message.size_bytes) + extra_delay
+            timer = self.simulator.timeout(delay)
+            timer.callbacks.append(arrival)

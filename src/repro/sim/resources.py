@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator
 
+from repro.errors import StorageFaultError
 from repro.sim.core import Event, Simulator
 
 
@@ -126,6 +127,19 @@ class Store:
             self._getters.append(event)
         return event
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending ``get`` event from the waiter queue.
+
+        A getter abandoned by a timed-out caller would otherwise consume
+        the next item put into the store — stealing the message a retry
+        is waiting for. Returns True if the event was still queued.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     def close(self) -> None:
         """Close the store; pending and future getters fail."""
         self._closed = True
@@ -152,14 +166,29 @@ class DiskModel:
                  name: str = "disk") -> None:
         self.simulator = simulator
         self.commit_latency = commit_latency
+        self.name = name
         self._queue = SimLock(simulator, name=f"{name}-queue")
         self.commits = 0
+        self.failed_commits = 0
+        #: Optional fault injection (:class:`repro.sim.faults.FaultPlan`);
+        #: attached via ``FaultPlan.attach_disk``, never set on hot paths.
+        self.fault_plan = None
 
     def commit(self) -> Generator[Event, Any, None]:
-        """A sub-process performing one durable commit."""
+        """A sub-process performing one durable commit.
+
+        With a fault plan attached, a commit falling in a scheduled disk
+        fault window still pays the latency (the drive spun, the write
+        failed) and then raises :class:`StorageFaultError`.
+        """
         yield self._queue.acquire()
         try:
             yield self.simulator.timeout(self.commit_latency)
+            if (self.fault_plan is not None
+                    and self.fault_plan.disk_faulty(self.name)):
+                self.failed_commits += 1
+                raise StorageFaultError(
+                    f"disk {self.name!r}: injected commit failure")
             self.commits += 1
         finally:
             self._queue.release()

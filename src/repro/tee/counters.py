@@ -16,12 +16,25 @@ from __future__ import annotations
 from typing import Any, Dict, Generator
 
 from repro import calibration
-from repro.errors import CounterError, CounterWearError
+from repro.errors import (
+    CounterError,
+    CounterNotFoundError,
+    CounterUnavailableError,
+    CounterWearError,
+)
 from repro.sim.core import Event, Simulator
 
 
 class PlatformCounterService:
-    """The platform's monotonic-counter facility."""
+    """The platform's monotonic-counter facility.
+
+    Failure taxonomy matters here: an *unknown* counter raises
+    :class:`CounterNotFoundError` (permanent — nothing was ever created),
+    while an injected outage raises :class:`CounterUnavailableError`
+    (transient — the counter still exists and still holds its value).
+    Conflating the two is how rollback protection gets silently minted
+    away (see ``RollbackGuard.ensure_counter``).
+    """
 
     def __init__(self, simulator: Simulator,
                  increment_interval: float = (
@@ -37,9 +50,21 @@ class PlatformCounterService:
         self._values: Dict[str, int] = {}
         self._writes: Dict[str, int] = {}
         self._next_allowed: Dict[str, float] = {}
+        #: Fault injection (:class:`repro.sim.faults.FaultPlan`), attached
+        #: via ``FaultPlan.attach_counters``.
+        self.fault_plan = None
+        self.fault_name = "platform-counters"
+
+    def _check_available(self) -> None:
+        if (self.fault_plan is not None
+                and self.fault_plan.counter_unavailable(self.fault_name)):
+            raise CounterUnavailableError(
+                f"counter service {self.fault_name!r} is unreachable "
+                f"(injected outage)")
 
     def create(self, counter_id: str) -> None:
         """Create a counter starting at zero."""
+        self._check_available()
         if counter_id in self._values:
             raise CounterError(f"counter {counter_id!r} already exists")
         self._values[counter_id] = 0
@@ -48,15 +73,18 @@ class PlatformCounterService:
 
     def read(self, counter_id: str) -> int:
         """Read the current value (fast; no rate limit)."""
+        self._check_available()
         try:
             return self._values[counter_id]
         except KeyError:
-            raise CounterError(f"unknown counter {counter_id!r}") from None
+            raise CounterNotFoundError(
+                f"unknown counter {counter_id!r}") from None
 
     def increment(self, counter_id: str) -> Generator[Event, Any, int]:
         """Increment; a process that waits out the hardware rate limit."""
+        self._check_available()
         if counter_id not in self._values:
-            raise CounterError(f"unknown counter {counter_id!r}")
+            raise CounterNotFoundError(f"unknown counter {counter_id!r}")
         if self._writes[counter_id] >= self.wear_limit:
             raise CounterWearError(
                 f"counter {counter_id!r} exceeded its {self.wear_limit}-write "
@@ -78,7 +106,8 @@ class PlatformCounterService:
         try:
             return self._writes[counter_id]
         except KeyError:
-            raise CounterError(f"unknown counter {counter_id!r}") from None
+            raise CounterNotFoundError(
+                f"unknown counter {counter_id!r}") from None
 
     def rollback_for_test(self, counter_id: str, value: int) -> None:
         """Forcibly set a counter backwards.
@@ -88,5 +117,5 @@ class PlatformCounterService:
         so tests that model a counter-rollback-capable attacker need a lever.
         """
         if counter_id not in self._values:
-            raise CounterError(f"unknown counter {counter_id!r}")
+            raise CounterNotFoundError(f"unknown counter {counter_id!r}")
         self._values[counter_id] = value

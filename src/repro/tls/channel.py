@@ -15,7 +15,7 @@ from repro import calibration
 from repro.crypto.certificates import Certificate
 from repro.crypto.primitives import DeterministicRandom
 from repro.crypto.signatures import PublicKey
-from repro.sim.core import Event
+from repro.sim.core import Event, ProcessInterrupt
 from repro.sim.network import Endpoint, Network, Site
 from repro.tls.handshake import TLSSession, perform_handshake
 
@@ -65,6 +65,8 @@ class TLSConnection:
         self.client_channel = SecureChannel(session, is_client=True)
         self.server_channel = SecureChannel(session, is_client=False)
         self.requests_sent = 0
+        self._request_seq = 0
+        self.stale_replies_dropped = 0
 
     @classmethod
     def connect(cls, network: Network, client_name: str, client_site: Site,
@@ -88,9 +90,20 @@ class TLSConnection:
 
     def request(self, payload: Any, size_bytes: int = 512,
                 ) -> Generator[Event, Any, Any]:
-        """Send one request and wait for the reply; returns the reply payload."""
+        """Send one request and wait for the reply; returns the reply payload.
+
+        Each request carries a sealed request id and the reply echoes it:
+        under retries, a stale or duplicated reply (the network may deliver
+        twice, and a timed-out attempt's reply can arrive after the retry's
+        request) is discarded instead of being mistaken for the answer.
+        An interrupted request (a :meth:`Simulator.with_timeout` deadline)
+        cancels its mailbox getter so the abandoned attempt cannot steal
+        the reply meant for the retry.
+        """
         simulator = self.network.simulator
-        sealed = self.client_channel.seal(payload)
+        self._request_seq += 1
+        rid = self._request_seq
+        sealed = self.client_channel.seal({"rid": rid, "body": payload})
         yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
         self.client_endpoint.send(self.server_endpoint,
                                   {"session": self.session.session_id,
@@ -98,9 +111,18 @@ class TLSConnection:
                                   size_bytes=size_bytes,
                                   reply_to=self.client_endpoint)
         self.requests_sent += 1
-        message = yield self.client_endpoint.receive()
-        yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
-        return self.client_channel.open(message.payload["data"])
+        while True:
+            pending = self.client_endpoint.receive()
+            try:
+                message = yield pending
+            except ProcessInterrupt:
+                self.client_endpoint.inbox.cancel(pending)
+                raise
+            yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
+            reply = self.client_channel.open(message.payload["data"])
+            if isinstance(reply, dict) and reply.get("rid") == rid:
+                return reply["body"]
+            self.stale_replies_dropped += 1
 
 
 class TLSServer:
@@ -149,12 +171,17 @@ class TLSServer:
             if session is None:
                 continue  # unknown session: drop, like a TLS alert
             server_channel = SecureChannel(session, is_client=False)
-            request = server_channel.open(message.payload["data"])
+            envelope = server_channel.open(message.payload["data"])
+            rid = None
+            request = envelope
+            if isinstance(envelope, dict) and "rid" in envelope:
+                rid = envelope["rid"]
+                request = envelope["body"]
             yield simulator.timeout(calibration.TLS_RECORD_CRYPTO_SECONDS)
             result = self.handler(request, session)
             if hasattr(result, "__next__"):
                 result = yield simulator.process(result)
-            sealed = server_channel.seal(result)
+            sealed = server_channel.seal({"rid": rid, "body": result})
             self.requests_served += 1
             message.reply_to and self.endpoint.send(
                 message.reply_to,

@@ -182,6 +182,51 @@ class TestUnauditedStateChange:
         assert lint(tmp_path) == []
 
 
+class TestBroadExcept:
+    def test_except_exception_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            def swallow():
+                try:
+                    return 1
+                except Exception:
+                    return None
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC105"]
+        assert findings[0].line == 4
+
+    def test_exception_in_tuple_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            def swallow():
+                try:
+                    return 1
+                except (ValueError, Exception):
+                    return None
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC105"]
+
+    def test_rest_boundary_is_exempt(self, tmp_path):
+        write_module(tmp_path, "repro.core.rest", """\
+            def handle():
+                try:
+                    return 1
+                except Exception:
+                    return None
+            """)
+        assert lint(tmp_path) == []
+
+    def test_typed_catches_are_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            def precise():
+                try:
+                    return 1
+                except (ValueError, KeyError):
+                    return None
+            """)
+        assert lint(tmp_path) == []
+
+
 class TestEngineBehaviour:
     def test_syntax_error_becomes_src100(self, tmp_path):
         write_module(tmp_path, "repro.core.broken", """\

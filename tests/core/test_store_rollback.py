@@ -8,6 +8,7 @@ from repro.crypto.primitives import DeterministicRandom
 from repro.errors import (
     ConcurrentInstanceError,
     IntegrityError,
+    PolicyValidationError,
     StaleDatabaseError,
 )
 from repro.fs.blockstore import BlockStore
@@ -69,7 +70,7 @@ class TestPolicyStore:
     def test_version_cannot_decrease(self):
         db, _, _ = make_store()
         db.set_version(5)
-        with pytest.raises(ValueError):
+        with pytest.raises(PolicyValidationError):
             db.set_version(4)
 
     def test_commit_pays_disk_latency(self):

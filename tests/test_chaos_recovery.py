@@ -1,0 +1,108 @@
+"""End-to-end tests for the chaos scenario and its recovery guarantees."""
+
+import pytest
+
+from repro.chaos import render_summary, run_chaos
+from repro.core.rollback import RollbackGuard
+from repro.core.store import PolicyStore
+from repro.crypto.primitives import DeterministicRandom
+from repro.errors import CounterUnavailableError, SimulationError
+from repro.fs.blockstore import BlockStore
+from repro.sim.core import Simulator
+from repro.sim.faults import FaultPlan
+from repro.tee.counters import PlatformCounterService
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return run_chaos(7)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self, summary):
+        again = run_chaos(7)
+        assert render_summary(summary) == render_summary(again)
+        assert summary["audit_head"] == again["audit_head"]
+
+    def test_different_seed_differs(self, summary):
+        other = run_chaos(11)
+        assert summary["audit_head"] != other["audit_head"]
+
+    def test_audit_chain_verifies(self, summary):
+        assert summary["audit_records"] > 0
+
+
+class TestRecovery:
+    def test_partition_heals_within_retry_budget(self, summary):
+        assert summary["federation_fetch"] == "recovered"
+        assert summary["retries_by_operation"][
+            "federation.fetch:recovered"] == 1
+        assert summary["retries_by_operation"]["federation.fetch:retry"] >= 1
+
+    def test_disk_fault_recovers(self, summary):
+        assert summary["tag_update"] == "recovered"
+        assert summary["faults_injected"]["disk_fault"] >= 1
+
+    def test_rest_blackout_recovers(self, summary):
+        assert summary["rest_attestation"] == "recovered"
+        assert summary["faults_injected"]["blackout"] >= 1
+
+    def test_counter_outage_fails_loudly_then_recovers(self, summary):
+        assert summary["counter_outage_error"] == "CounterUnavailableError"
+        assert summary["third_instance"] == "started"
+
+    def test_promotion_replays_only_acked_updates(self, summary):
+        assert summary["replication_giveup"] == "after-retries"
+        assert summary["replication_lag"] == 1
+        assert summary["promoted"] == "palaemon-2"
+        assert summary["replayed_updates"] == {"k1": "acked", "k2": None}
+
+    def test_bounded_wall_clock(self, summary):
+        # Every phase finishes under its retry budget: the whole run is
+        # bounded, not an unbounded wait on the slowest fault window.
+        assert summary["sim_time"] < 60.0
+
+
+class TestNoRetryRegression:
+    def test_without_retries_the_scenario_deadlocks(self):
+        with pytest.raises(SimulationError, match="did not finish"):
+            run_chaos(7, retries=False)
+
+
+class TestCounterOutageUnit:
+    """The satellite fix in isolation: an outage must propagate, never
+    mint a fresh counter (which would discard rollback protection)."""
+
+    def make_guard(self, sim, counters):
+        rng = DeterministicRandom(b"outage-unit")
+        store = PolicyStore(sim, BlockStore(), rng.fork(b"key").bytes(32),
+                            rng.fork(b"store"))
+        return RollbackGuard(store, counters, "c")
+
+    def test_outage_propagates_from_ensure_counter(self):
+        sim = Simulator()
+        counters = PlatformCounterService(sim)
+        FaultPlan(sim).counter_outage("ctr", end=1.0).attach_counters(
+            counters, "ctr")
+        guard = self.make_guard(sim, counters)
+        with pytest.raises(CounterUnavailableError):
+            guard.ensure_counter()
+        # Crucially: the outage did not silently create the counter.
+        sim.run(until=1.0)
+        with pytest.raises(Exception) as info:
+            counters.read("c")
+        assert type(info.value).__name__ == "CounterNotFoundError"
+        guard.ensure_counter()  # outage over: now it really is created
+        assert counters.read("c") == 0
+
+
+class TestRenderSummary:
+    def test_sorted_and_stable(self):
+        text = render_summary({"b": 1, "a": {"z": 2, "y": 3}})
+        assert text.splitlines() == [
+            "chaos recovery summary",
+            "  a:",
+            "    y: 3",
+            "    z: 2",
+            "  b: 1",
+        ]

@@ -26,6 +26,13 @@ Commands
     ``--no-retry`` reproduces the pre-retry deadlock, and ``--check``
     asserts the two driver-level invariants (same seed twice is
     byte-identical; retries disabled deadlocks). See ``docs/CHAOS.md``.
+``bench-tags``
+    Run the tag-update write-path benchmark (sequential segmented vs
+    legacy monolithic flush, plus concurrent group-commit batching) and
+    export the deterministic results to ``results/tag_throughput.json``.
+    ``--smoke`` runs a reduced configuration, asserts the batching and
+    10x-bytes invariants, and checks the export is byte-identical across
+    reruns. See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -67,6 +74,8 @@ EXPERIMENTS = {
                         "IAS vs local vs DCAP verification"),
     "ext-objectstore": ("test_ext_objectstore.py",
                         "Replicated storage backend durability"),
+    "tags": ("test_tag_throughput.py",
+             "Tag-update write-path throughput (segments + group commit)"),
 }
 
 
@@ -147,6 +156,61 @@ def cmd_chaos(seed: int, check: bool, no_retry: bool) -> int:
     return 0
 
 
+def cmd_bench_tags(smoke: bool, out: str) -> int:
+    """Run the tag-update throughput benchmark; export deterministic JSON."""
+    import json
+    import tempfile
+
+    from repro.benchlib import tagbench
+
+    if smoke:
+        config = dict(policies=150, sequential_updates=6, legacy_updates=3,
+                      workers=6)
+    else:
+        config = dict(policies=tagbench.DEFAULT_POLICIES,
+                      sequential_updates=12, legacy_updates=6, workers=8)
+    document, wall_clock = tagbench.run_benchmark(**config)
+    try:
+        tagbench.check_invariants(document)
+    except AssertionError as exc:
+        print(f"bench-tags: invariant violated: {exc}", file=sys.stderr)
+        return 1
+    if smoke:
+        # Determinism: a rerun of the same configuration must export
+        # byte-identical JSON (wall-clock numbers are never exported).
+        rerun, _ = tagbench.run_benchmark(**config)
+        with tempfile.TemporaryDirectory() as scratch:
+            first = Path(scratch) / "first.json"
+            second = Path(scratch) / "second.json"
+            tagbench.export_results(str(first), document)
+            tagbench.export_results(str(second), rerun)
+            if first.read_bytes() != second.read_bytes():
+                print("bench-tags --smoke: rerun export differs",
+                      file=sys.stderr)
+                return 1
+    else:
+        path = Path(out)
+        if not path.is_absolute():
+            path = _repo_root() / path
+        tagbench.export_results(str(path), document)
+        print(f"wrote {path}")
+    sequential = document["sequential"]
+    concurrent = document["concurrent"]
+    print(json.dumps(document, indent=2, sort_keys=True))
+    print(f"bytes/update: legacy "
+          f"{sequential['legacy']['bytes_written_per_update']} vs segmented "
+          f"{sequential['segmented']['bytes_written_per_update']} "
+          f"({sequential['bytes_written_ratio_legacy_over_segmented']}x)")
+    print(f"group commit: {concurrent['workers']} workers -> "
+          f"{concurrent['disk_commits']} disk commit(s), "
+          f"{concurrent['coalesced_commits']} coalesced")
+    print(f"wall clock (host-dependent, not exported): "
+          f"segmented {wall_clock['segmented_updates_per_second']:.0f} "
+          f"updates/s, legacy "
+          f"{wall_clock['legacy_updates_per_second']:.0f} updates/s")
+    return 0
+
+
 def cmd_examples() -> int:
     examples_dir = _repo_root() / "examples"
     for script in sorted(examples_dir.glob("*.py")):
@@ -185,6 +249,13 @@ def main(argv=None) -> int:
     chaos.add_argument("--no-retry", action="store_true",
                        help="run without the retry layer (demonstrates "
                             "the deadlock the retry layer fixes)")
+    bench_tags = subparsers.add_parser(
+        "bench-tags", help="tag-update write-path throughput benchmark")
+    bench_tags.add_argument("--smoke", action="store_true",
+                            help="reduced run: assert batching + 10x-bytes "
+                                 "invariants and export determinism")
+    bench_tags.add_argument("--out", default="results/tag_throughput.json",
+                            help="export path (full runs only)")
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
@@ -201,6 +272,8 @@ def main(argv=None) -> int:
         return cmd_observe(args.seed)
     if args.command == "chaos":
         return cmd_chaos(args.seed, args.check, args.no_retry)
+    if args.command == "bench-tags":
+        return cmd_bench_tags(args.smoke, args.out)
     return cmd_examples()
 
 

@@ -230,6 +230,52 @@ def _check_service_class(source: SourceFile,
             hint="call self.telemetry.audit(...) on every outcome")
 
 
+#: Function names allowed to serialize the whole document: the migration
+#: path off the pre-segmentation format, and nothing else.
+_WHOLE_DOCUMENT_ALLOWED = re.compile(r"legacy|migrat")
+
+
+@rule("SRC106", "whole-database serialization on the flush path",
+      scope="source", severity=Severity.ERROR,
+      hint="serialize dirty per-table segments; only legacy/migration "
+           "helpers may pickle the whole document")
+def check_whole_document_flush(source: SourceFile) -> Iterator[Finding]:
+    yield from _scan_whole_document(source, source.tree, allowed=False)
+
+
+def _scan_whole_document(source: SourceFile, node: ast.AST,
+                         allowed: bool) -> Iterator[Finding]:
+    for child in ast.iter_child_nodes(node):
+        child_allowed = allowed
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child_allowed = (allowed
+                             or bool(_WHOLE_DOCUMENT_ALLOWED.search(
+                                 child.name)))
+        if (not child_allowed and isinstance(child, ast.Call)
+                and _is_whole_document_dump(child)):
+            yield Finding(
+                code="SRC106", severity=Severity.ERROR,
+                subject=source.display, line=child.lineno,
+                message=("pickle.dumps(self._data) serializes the whole "
+                         "document per flush — the O(database) write path "
+                         "the segmented store exists to avoid"),
+                hint="reseal only dirty tables; whole-document "
+                     "serialization belongs in *legacy*/*migration* "
+                     "helpers only")
+        yield from _scan_whole_document(source, child, child_allowed)
+
+
+def _is_whole_document_dump(call: ast.Call) -> bool:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "dumps"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "pickle"):
+        return False
+    return any(isinstance(arg, ast.Attribute) and arg.attr == "_data"
+               and isinstance(arg.value, ast.Name) and arg.value.id == "self"
+               for arg in call.args)
+
+
 def _method_facts(method: ast.AST, method_names: Set[str]):
     """(facts, helpers): which primitives a method touches directly."""
     direct: Set[str] = set()
@@ -245,7 +291,7 @@ def _method_facts(method: ast.AST, method_names: Set[str]):
                 and isinstance(owner.value, ast.Name)
                 and owner.value.id == "self"):
             if (owner.attr == "store"
-                    and func.attr in ("put", "delete", "commit",
+                    and func.attr in ("put", "delete", "touch", "commit",
                                       "commit_instant")):
                 direct.add("mutates")
             elif owner.attr == "telemetry" and func.attr == "audit":

@@ -1,0 +1,229 @@
+"""Tag-update throughput benchmark (the Fig 10/11 hot path, end to end).
+
+Measures the cost of ``PalaemonService.update_tag`` — the paper's most
+frequent write — against a database of many policies, in three ways:
+
+- **sequential, segmented** (the default write path): each update reseals
+  only the dirty tables plus the manifest;
+- **sequential, legacy monolithic** (the pre-segmentation format, kept via
+  :meth:`PolicyStore.use_legacy_monolithic_format`): each update re-pickles
+  and re-encrypts the whole document — the O(database) baseline;
+- **concurrent, segmented**: N simultaneous updaters exercising the
+  group-commit batching in :meth:`PolicyStore.commit`.
+
+Two kinds of numbers come out. *Deterministic* facts — simulated elapsed
+time, bytes written to the untrusted store, disk-commit and coalescing
+counts — are identical across runs with the same configuration and are
+what gets exported to ``results/tag_throughput.json``. *Wall-clock*
+serialization timings vary by host and are reported separately for
+display, never exported.
+
+Used by ``python -m repro bench-tags`` and
+``benchmarks/test_tag_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Generator, Tuple
+
+from repro.benchlib.export import export_experiment
+from repro.core.service import PalaemonService, _ServiceState
+from repro.crypto.primitives import DeterministicRandom, sha256
+from repro.fs.blockstore import BlockStore
+from repro.obs.telemetry import Telemetry
+from repro.sim.core import Event, Simulator
+from repro.tee.platform import SGXPlatform
+
+#: The per-policy payload stored in the policies table: sized so a
+#: 1,000-policy database pickles to ~2 MB, matching a small production
+#: estate (List 1 policies carry injection-file templates of this order).
+DEFAULT_PAYLOAD_BYTES = 2048
+DEFAULT_POLICIES = 1000
+
+
+def build_service(name: str, seed: bytes, policies: int,
+                  payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                  legacy: bool = False,
+                  ) -> Tuple[Simulator, PalaemonService]:
+    """A minimal started PALAEMON instance seeded with ``policies`` entries.
+
+    The database is bulk-seeded directly through the store (one commit at
+    the end) so setup cost does not depend on the flush strategy under
+    test; per-policy payloads and service states are deterministic
+    functions of the seed.
+    """
+    rng = DeterministicRandom(seed)
+    simulator = Simulator()
+    platform = SGXPlatform(simulator, f"{name}-node", rng.fork(b"platform"))
+    service = PalaemonService(platform, BlockStore(f"{name}-volume"),
+                              rng.fork(b"service"), name=name,
+                              telemetry=Telemetry.for_simulator(simulator))
+    if legacy:
+        service.store.use_legacy_monolithic_format()
+    simulator.run_process(service.start(), name=f"{name}-start")
+    payload_rng = rng.fork(b"payloads")
+    for index in range(policies):
+        policy_name = _policy_name(index)
+        service.store.put("policies", policy_name, {
+            "name": policy_name,
+            "services": ["svc"],
+            "injection_template": payload_rng.bytes(payload_bytes),
+        })
+        service.store.put("state", policy_name, {"svc": _ServiceState()})
+    service.store.commit_instant()
+    return simulator, service
+
+
+def _policy_name(index: int) -> str:
+    return f"bench-{index:04d}"
+
+
+def measure_sequential(policies: int, updates: int,
+                       payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                       legacy: bool = False) -> Tuple[Dict[str, Any], float]:
+    """Sequential tag updates; returns (deterministic facts, wall seconds)."""
+    mode = "legacy" if legacy else "segmented"
+    simulator, service = build_service(
+        f"tagbench-{mode}", b"tagbench:" + mode.encode(), policies,
+        payload_bytes=payload_bytes, legacy=legacy)
+    backing = service.store.store
+    bytes_before = backing.bytes_written
+    commits_before = service.store.disk.commits
+    sim_before = simulator.now
+    wall_before = time.perf_counter()
+    for index in range(updates):
+        target = _policy_name((index * 37) % policies)
+        tag = sha256(b"tag:%d" % index)
+        simulator.run_process(
+            service.update_tag(target, "svc", tag),
+            name=f"update-{index}")
+    wall_seconds = time.perf_counter() - wall_before
+    return {
+        "mode": mode,
+        "policies": policies,
+        "updates": updates,
+        "sim_seconds_per_update":
+            (simulator.now - sim_before) / updates,
+        "bytes_written_per_update":
+            (backing.bytes_written - bytes_before) // updates,
+        "disk_commits": service.store.disk.commits - commits_before,
+    }, wall_seconds
+
+
+def measure_concurrent(policies: int, workers: int,
+                       payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                       ) -> Dict[str, Any]:
+    """``workers`` simultaneous tag updates through the group commit."""
+    simulator, service = build_service(
+        "tagbench-concurrent", b"tagbench:concurrent", policies,
+        payload_bytes=payload_bytes)
+    commits_before = service.store.disk.commits
+    sim_before = simulator.now
+
+    def drive() -> Generator[Event, Any, float]:
+        processes = [
+            simulator.process(service.update_tag(
+                _policy_name(index), "svc", sha256(b"concurrent:%d" % index)))
+            for index in range(workers)]
+        for process in processes:
+            yield process
+        return simulator.now
+
+    finished = simulator.run_process(drive(), name="concurrent-updates")
+    disk_commits = service.store.disk.commits - commits_before
+    coalesced = service.telemetry.metrics.counter(
+        "palaemon_db_commits_coalesced_total").value
+    return {
+        "mode": "concurrent-segmented",
+        "policies": policies,
+        "workers": workers,
+        "sim_seconds_total": finished - sim_before,
+        "disk_commits": disk_commits,
+        "coalesced_commits": int(coalesced),
+        "expected_tags_recorded": sum(
+            1 for index in range(workers)
+            if service.get_tag_instant(_policy_name(index), "svc")
+            is not None),
+    }
+
+
+def run_benchmark(policies: int = DEFAULT_POLICIES,
+                  sequential_updates: int = 12,
+                  legacy_updates: int = 6,
+                  workers: int = 8,
+                  payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+                  ) -> Tuple[Dict[str, Any], Dict[str, float]]:
+    """Run all three phases.
+
+    Returns ``(document, wall_clock)``: the document holds only
+    deterministic facts (stable across reruns, suitable for committing),
+    ``wall_clock`` the host-dependent serialization timings.
+    """
+    segmented, wall_segmented = measure_sequential(
+        policies, sequential_updates, payload_bytes=payload_bytes)
+    legacy, wall_legacy = measure_sequential(
+        policies, legacy_updates, payload_bytes=payload_bytes, legacy=True)
+    concurrent = measure_concurrent(policies, workers,
+                                    payload_bytes=payload_bytes)
+    bytes_ratio = (legacy["bytes_written_per_update"]
+                   / max(1, segmented["bytes_written_per_update"]))
+    document = {
+        "config": {
+            "policies": policies,
+            "payload_bytes": payload_bytes,
+            "sequential_updates": sequential_updates,
+            "legacy_updates": legacy_updates,
+            "concurrent_workers": workers,
+        },
+        "sequential": {
+            "segmented": segmented,
+            "legacy": legacy,
+            "bytes_written_ratio_legacy_over_segmented":
+                round(bytes_ratio, 2),
+        },
+        "concurrent": concurrent,
+    }
+    wall_clock = {
+        "segmented_updates_per_second":
+            sequential_updates / wall_segmented if wall_segmented else 0.0,
+        "legacy_updates_per_second":
+            legacy_updates / wall_legacy if wall_legacy else 0.0,
+    }
+    return document, wall_clock
+
+
+def export_results(path: str, document: Dict[str, Any]) -> None:
+    """Write the deterministic document via the benchlib export format."""
+    export_experiment(path, experiment_id="tag_throughput",
+                      extra=document)
+
+
+def check_invariants(document: Dict[str, Any]) -> None:
+    """The batching + throughput invariants ``bench-tags --smoke`` enforces.
+
+    - concurrent updaters must coalesce: fewer disk commits than workers,
+      at least one coalesced commit, and every worker's tag recorded;
+    - the segmented write path must move >= 10x fewer bytes per update
+      than the legacy whole-document flush;
+    - the latency model is untouched: a sequential segmented update still
+      pays exactly one disk commit.
+    """
+    concurrent = document["concurrent"]
+    if concurrent["coalesced_commits"] < 1:
+        raise AssertionError("no coalesced commits under concurrent load")
+    if concurrent["disk_commits"] >= concurrent["workers"]:
+        raise AssertionError(
+            f"{concurrent['workers']} workers required "
+            f"{concurrent['disk_commits']} disk commits — no batching")
+    if concurrent["expected_tags_recorded"] != concurrent["workers"]:
+        raise AssertionError("a coalesced update lost its tag")
+    sequential = document["sequential"]
+    ratio = sequential["bytes_written_ratio_legacy_over_segmented"]
+    if ratio < 10.0:
+        raise AssertionError(
+            f"segmented flush only {ratio:.1f}x smaller than the legacy "
+            f"whole-document flush (need >= 10x)")
+    segmented = sequential["segmented"]
+    if segmented["disk_commits"] != segmented["updates"]:
+        raise AssertionError("sequential updates must pay one commit each")

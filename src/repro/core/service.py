@@ -139,7 +139,8 @@ class PalaemonService:
             _write_sealed_identity(store, blob)
 
         self.store = PolicyStore(self.simulator, store, db_key,
-                                 rng.fork(b"store"))
+                                 rng.fork(b"store"),
+                                 telemetry=self.telemetry)
         self.rollback_guard = RollbackGuard(self.store, platform.counters,
                                             f"{name}:{self.COUNTER_ID}",
                                             telemetry=self.telemetry)
@@ -277,6 +278,9 @@ class PalaemonService:
         self.store.put("state", policy.name,
                        {service.name: _ServiceState()
                         for service in policy.services})
+        # Functional path: no simulated latency to coalesce, so this (like
+        # every commit_instant below) flushes directly. Only update_tag runs
+        # under the simulator and routes through the batched store.commit().
         self.store.commit_instant()
 
     def _analyze_policy(self, policy: SecurityPolicy,
@@ -384,6 +388,11 @@ class PalaemonService:
             volume_keys.setdefault(volume.name, self._rng.fork(
                 b"vol:" + updated.name.encode()
                 + volume.name.encode()).bytes(32))
+        # The dicts above were mutated in place; re-put them so the dirty
+        # tracker reseals their segments on the next flush.
+        self.store.put("secrets", updated.name, existing_secrets)
+        self.store.put("state", updated.name, state)
+        self.store.put("fs_keys", updated.name, fs_keys)
         self.store.put("volume_keys", updated.name, volume_keys)
         if self.store.get("volume_tags", updated.name) is None:
             self.store.put("volume_tags", updated.name, {})
@@ -448,6 +457,7 @@ class PalaemonService:
                 f"requires a board-approved policy update to restart")
         state.clean_exit = False  # session open; set true again on exit
         state.executions += 1
+        self.store.touch("state")
         secrets = self._resolve_secrets(policy)
         secret_bytes = {name: value.value for name, value in secrets.items()}
         injected = {}
@@ -522,6 +532,7 @@ class PalaemonService:
         policy.volume(volume_name)  # raises if undeclared
         tags = self.store.get("volume_tags", policy_name)
         tags[volume_name] = tag
+        self.store.touch("volume_tags")
         self.store.commit_instant()
         self.telemetry.inc("palaemon_volume_tag_updates_total")
         self.telemetry.audit("volume_tag.update", policy=policy_name,
@@ -576,6 +587,7 @@ class PalaemonService:
                                             import_spec.from_policy)
             secret = source_secrets[import_spec.secret_name]
             secret.imported_by.append(policy.name)
+            self.store.touch("secrets")
             resolved[import_spec.bound_name] = SecretValue(
                 name=import_spec.bound_name, kind=secret.kind,
                 value=secret.value, certificate=secret.certificate)
@@ -604,6 +616,7 @@ class PalaemonService:
         state.expected_tag = tag
         if clean_exit:
             state.clean_exit = True
+        self.store.touch("state")
         self.store.commit_instant()
         self.telemetry.inc("palaemon_tag_updates_total")
         self.telemetry.audit("tag.update", policy=policy_name,
@@ -621,6 +634,7 @@ class PalaemonService:
             state.expected_tag = tag
             if clean_exit:
                 state.clean_exit = True
+            self.store.touch("state")
             yield self.simulator.process(self.store.commit())
             self.telemetry.observe("palaemon_tag_update_seconds",
                                    self.simulator.now - started)

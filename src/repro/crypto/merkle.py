@@ -7,17 +7,26 @@ an older snapshot — changes or stales the tag, which is how both tampering
 and rollback become detectable.
 
 Leaves are keyed by name (file path) rather than index so that files can be
-added and removed; the tree is rebuilt over the sorted leaf set, with domain
+added and removed; the tree hashes the sorted leaf set, with domain
 separation between leaf and interior hashes to prevent second-preimage
 splicing attacks.
+
+The tree is *incremental*: every level of interior hashes is cached, so an
+in-place leaf update recomputes only the O(log n) root path, and ``root()``
+after a single-file write no longer re-hashes the whole file set. Inserting
+or removing a leaf shifts the sorted order at the insertion point, so those
+operations recompute the suffix of each level from the affected index —
+O(log n) for appends near the end of the name order, O(n) worst case for a
+prepend, never more than a full rebuild.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.crypto.primitives import constant_time_equal, sha256
-from repro.errors import IntegrityError
+from repro.errors import IntegrityError, MerkleLeafNotFoundError
 
 _LEAF_PREFIX = b"\x00leaf"
 _NODE_PREFIX = b"\x01node"
@@ -35,11 +44,21 @@ def _node_hash(left: bytes, right: bytes) -> bytes:
 
 
 class MerkleTree:
-    """A Merkle tree over a mutable mapping of name -> content hash."""
+    """A Merkle tree over a mutable mapping of name -> content hash.
+
+    Internally keeps the full pyramid of hash levels (``_levels[0]`` is the
+    sorted leaf hashes, ``_levels[-1]`` is ``[root]``) so that ``root()`` is
+    O(1) on a clean tree and a leaf update is O(log n). The cache is built
+    lazily: bulk loads (``from_snapshot``) stay O(n log n) total because the
+    pyramid is only materialized on the first ``root()``/``prove()``.
+    """
 
     def __init__(self) -> None:
         self._leaves: Dict[str, bytes] = {}
-        self._root_cache: Optional[bytes] = None
+        # Sorted leaf names and the cached hash levels; both valid only
+        # while _levels is not None.
+        self._order: List[str] = []
+        self._levels: Optional[List[List[bytes]]] = None
 
     def __len__(self) -> int:
         return len(self._leaves)
@@ -49,73 +68,113 @@ class MerkleTree:
 
     def names(self) -> List[str]:
         """Sorted leaf names."""
+        if self._levels is not None:
+            return list(self._order)
         return sorted(self._leaves)
 
     def set_leaf(self, name: str, content: bytes) -> None:
         """Insert or update the leaf for ``name`` with a hash of ``content``."""
-        self._leaves[name] = sha256(content)
-        self._root_cache = None
+        self.set_leaf_hash(name, sha256(content))
 
     def set_leaf_hash(self, name: str, content_hash: bytes) -> None:
         """Insert or update a leaf with a precomputed content hash."""
         if len(content_hash) != 32:
             raise ValueError("content hash must be 32 bytes")
+        existed = name in self._leaves
         self._leaves[name] = content_hash
-        self._root_cache = None
+        if self._levels is None:
+            return
+        leaf = _leaf_hash(name, content_hash)
+        if not self._levels:  # built-but-empty pyramid: seed it directly
+            self._order = [name]
+            self._levels = [[leaf]]
+            return
+        index = bisect_left(self._order, name)
+        if existed:
+            self._levels[0][index] = leaf
+        else:
+            self._order.insert(index, name)
+            self._levels[0].insert(index, leaf)
+        self._recompute_from(index)
 
     def remove_leaf(self, name: str) -> None:
         """Remove the leaf for ``name``; missing names are an error."""
+        if name not in self._leaves:
+            raise MerkleLeafNotFoundError(f"no Merkle leaf named {name!r}")
         del self._leaves[name]
-        self._root_cache = None
+        if self._levels is None:
+            return
+        index = bisect_left(self._order, name)
+        del self._order[index]
+        del self._levels[0][index]
+        if not self._order:
+            self._levels = []
+            return
+        self._recompute_from(index)
 
     def leaf_hash(self, name: str) -> bytes:
         """The stored content hash for ``name``."""
+        if name not in self._leaves:
+            raise MerkleLeafNotFoundError(f"no Merkle leaf named {name!r}")
         return self._leaves[name]
 
     def root(self) -> bytes:
         """The current root hash ("tag"). Empty trees have a fixed root."""
-        if self._root_cache is None:
-            self._root_cache = self._compute_root()
-        return self._root_cache
-
-    def _level(self) -> List[bytes]:
-        return [_leaf_hash(name, self._leaves[name])
-                for name in sorted(self._leaves)]
-
-    def _compute_root(self) -> bytes:
-        level = self._level()
-        if not level:
+        levels = self._ensure_levels()
+        if not levels:
             return _EMPTY_ROOT
-        while len(level) > 1:
-            paired = []
-            for i in range(0, len(level), 2):
-                if i + 1 < len(level):
-                    paired.append(_node_hash(level[i], level[i + 1]))
+        return levels[-1][0]
+
+    def _ensure_levels(self) -> List[List[bytes]]:
+        if self._levels is None:
+            self._order = sorted(self._leaves)
+            leaf_level = [_leaf_hash(name, self._leaves[name])
+                          for name in self._order]
+            self._levels = _compute_levels(leaf_level)
+        return self._levels
+
+    def _recompute_from(self, index: int) -> None:
+        """Recompute cached levels above a change at leaf ``index``.
+
+        Leaves before ``index`` are untouched, so each parent level only
+        needs recomputing from ``index // 2`` onward; the suffix walk also
+        absorbs level-length changes after an insert or remove.
+        """
+        levels = self._levels
+        assert levels is not None
+        depth = 0
+        while len(levels[depth]) > 1:
+            child = levels[depth]
+            parent_length = (len(child) + 1) // 2
+            index //= 2
+            if depth + 1 == len(levels):
+                levels.append([b""] * parent_length)
+            parent = levels[depth + 1]
+            if len(parent) > parent_length:
+                del parent[parent_length:]
+            elif len(parent) < parent_length:
+                parent.extend([b""] * (parent_length - len(parent)))
+            for i in range(index, parent_length):
+                left = child[2 * i]
+                if 2 * i + 1 < len(child):
+                    parent[i] = _node_hash(left, child[2 * i + 1])
                 else:
                     # Odd node is promoted; safe with domain separation.
-                    paired.append(level[i])
-            level = paired
-        return level[0]
+                    parent[i] = left
+            depth += 1
+        del levels[depth + 1:]
 
     def prove(self, name: str) -> "MerkleProof":
         """Produce an inclusion proof for ``name`` against the current root."""
         if name not in self._leaves:
-            raise KeyError(name)
-        ordered = sorted(self._leaves)
-        index = ordered.index(name)
-        level = self._level()
+            raise MerkleLeafNotFoundError(f"no Merkle leaf named {name!r}")
+        levels = self._ensure_levels()
+        index = bisect_left(self._order, name)
         path: List[Tuple[bytes, bool]] = []
-        while len(level) > 1:
+        for level in levels[:-1]:
             sibling_index = index ^ 1
             if sibling_index < len(level):
                 path.append((level[sibling_index], sibling_index < index))
-            paired = []
-            for i in range(0, len(level), 2):
-                if i + 1 < len(level):
-                    paired.append(_node_hash(level[i], level[i + 1]))
-                else:
-                    paired.append(level[i])
-            level = paired
             index //= 2
         return MerkleProof(name=name, content_hash=self._leaves[name],
                            path=tuple(path), root=self.root())
@@ -130,6 +189,29 @@ class MerkleTree:
         for name, content_hash in leaves:
             tree.set_leaf_hash(name, content_hash)
         return tree
+
+
+def _compute_levels(leaf_level: List[bytes]) -> List[List[bytes]]:
+    """Build the full level pyramid bottom-up from a list of leaf hashes.
+
+    Shared by ``root()`` and ``prove()`` (via ``_ensure_levels``): returns
+    ``[]`` for an empty tree, otherwise ``levels[0]`` is ``leaf_level`` and
+    ``levels[-1]`` is the single-element root level.
+    """
+    if not leaf_level:
+        return []
+    levels = [leaf_level]
+    while len(levels[-1]) > 1:
+        level = levels[-1]
+        paired = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                paired.append(_node_hash(level[i], level[i + 1]))
+            else:
+                # Odd node is promoted; safe with domain separation.
+                paired.append(level[i])
+        levels.append(paired)
+    return levels
 
 
 class MerkleProof:

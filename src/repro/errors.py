@@ -21,6 +21,18 @@ class IntegrityError(CryptoError):
     """Authenticated data failed its integrity check (bad MAC, bad hash)."""
 
 
+class MerkleLeafNotFoundError(IntegrityError, KeyError):
+    """A Merkle-tree operation referenced a leaf that does not exist.
+
+    Inherits ``KeyError`` so mapping-style callers keep working, and
+    ``IntegrityError`` so the REST error mapping stays in the integrity
+    family rather than surfacing an untyped lookup failure.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return Exception.__str__(self)
+
+
 class SignatureError(CryptoError):
     """A digital signature failed verification."""
 

@@ -21,6 +21,13 @@ class BlockStore:
         self._files: Dict[str, bytes] = {}
         self.write_count = 0
         self.read_count = 0
+        self.bytes_written = 0
+        # Per-path write generations: every mutation — shielded write,
+        # out-of-band tamper, snapshot restore — bumps the path's
+        # generation, so readers can cheaply detect "blocks changed since
+        # I last validated this path" without re-reading the content.
+        self._generations: Dict[str, int] = {}
+        self._write_epoch = 0
         #: Fault-injection hook ``hook(operation, path)`` installed by
         #: :meth:`repro.sim.faults.FaultPlan.attach_blockstore`; raises
         #: :class:`repro.errors.StorageFaultError` during fault windows.
@@ -33,6 +40,8 @@ class BlockStore:
             self.fault_hook("write", path)
         self._files[path] = data
         self.write_count += 1
+        self.bytes_written += len(data)
+        self._bump(path)
 
     def read(self, path: str) -> bytes:
         if self.fault_hook is not None:
@@ -48,9 +57,23 @@ class BlockStore:
             del self._files[path]
         except KeyError:
             raise FileNotFoundError(path) from None
+        self._bump(path)
 
     def exists(self, path: str) -> bool:
         return path in self._files
+
+    def generation(self, path: str) -> int:
+        """Monotonic per-path write generation (0 = never written).
+
+        Changes on every mutation of ``path``, including attacker-side
+        ``tamper``/``restore``, so a cached validation made at generation
+        ``g`` is still sound while ``generation(path) == g``.
+        """
+        return self._generations.get(path, 0)
+
+    def _bump(self, path: str) -> None:
+        self._write_epoch += 1
+        self._generations[path] = self._write_epoch
 
     def list(self) -> List[str]:
         return sorted(self._files)
@@ -67,10 +90,13 @@ class BlockStore:
     def restore(self, snapshot: Dict[str, bytes]) -> None:
         """Roll the store back to an earlier snapshot (rollback attack)."""
         self._files = dict(snapshot)
+        for path in self._files:
+            self._bump(path)
 
     def tamper(self, path: str, data: bytes) -> None:
         """Overwrite a file without going through the shield."""
         self._files[path] = data
+        self._bump(path)
 
     def scan_for(self, needle: bytes) -> List[str]:
         """Paths whose raw content contains ``needle``.

@@ -5,6 +5,11 @@ their content hashes — in a protection file kept on the untrusted volume.
 The FSPF is itself encrypted and authenticated under the file-system key,
 and the Merkle root over the metadata is the file-system *tag* referenced by
 PALAEMON policies (``fspf_key`` / ``fspf_tag`` in List 1).
+
+The FSPF keeps one live :class:`~repro.crypto.merkle.MerkleTree` in sync
+with its entries: ``set_entry``/``remove_entry`` update the corresponding
+leaf in place, so ``tag()`` is an O(1) cached-root read on the hot path
+instead of rebuilding the tree from every entry per call.
 """
 
 from __future__ import annotations
@@ -33,23 +38,24 @@ class FileSystemProtectionFile:
 
     def __init__(self) -> None:
         self.entries: Dict[str, FileEntry] = {}
+        self._tree = MerkleTree()
 
     def set_entry(self, path: str, ciphertext_hash: bytes, size: int) -> None:
         self.entries[path] = FileEntry(ciphertext_hash=ciphertext_hash,
                                        size=size)
+        self._tree.set_leaf_hash(path, ciphertext_hash)
 
     def remove_entry(self, path: str) -> None:
         del self.entries[path]
+        self._tree.remove_leaf(path)
 
     def merkle_tree(self) -> MerkleTree:
-        tree = MerkleTree()
-        for path, entry in self.entries.items():
-            tree.set_leaf_hash(path, entry.ciphertext_hash)
-        return tree
+        """The live tree over all entries (do not mutate it directly)."""
+        return self._tree
 
     def tag(self) -> bytes:
         """The file-system tag: Merkle root over all file ciphertexts."""
-        return self.merkle_tree().root()
+        return self._tree.root()
 
     def seal(self, box: SecretBox) -> bytes:
         """Encrypt + authenticate the FSPF for storage on the volume."""

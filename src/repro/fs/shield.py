@@ -38,6 +38,10 @@ class ProtectedFileSystem:
         self.tag_listener = tag_listener
         self._fspf = FileSystemProtectionFile()
         self._cache: Dict[str, bytes] = {}
+        # Store write generation at which each cached path was last
+        # validated against its FSPF hash; sync() skips re-reading paths
+        # whose backing blocks have not changed since.
+        self._validated_generation: Dict[str, int] = {}
         self.decrypt_count = 0
         self.encrypt_count = 0
         if store.exists(_FSPF_PATH):
@@ -59,6 +63,7 @@ class ProtectedFileSystem:
             # trusted, so serving it from read() would leak exactly what
             # the tag check exists to prevent.
             self._cache.clear()
+            self._validated_generation.clear()
             raise TagMismatchError(
                 f"file system tag mismatch on {self.store.name!r}: "
                 f"expected {expected_tag.hex()[:16]}..., "
@@ -78,6 +83,7 @@ class ProtectedFileSystem:
         self.store.write(path, ciphertext)
         self._fspf.set_entry(path, sha256(ciphertext), len(plaintext))
         self._cache[path] = plaintext
+        self._record_validation(path)
 
     def read(self, path: str) -> bytes:
         """Read and transparently decrypt ``path``, verifying integrity."""
@@ -93,6 +99,7 @@ class ProtectedFileSystem:
         plaintext = self._box.open(ciphertext, associated_data=path.encode())
         self.decrypt_count += 1
         self._cache[path] = plaintext
+        self._record_validation(path)
         return plaintext
 
     def delete(self, path: str) -> None:
@@ -102,6 +109,7 @@ class ProtectedFileSystem:
         self.store.delete(path)
         self._fspf.remove_entry(path)
         self._cache.pop(path, None)
+        self._validated_generation.pop(path, None)
 
     def exists(self, path: str) -> bool:
         return path in self._fspf.entries
@@ -123,26 +131,55 @@ class ProtectedFileSystem:
         entry whose backing ciphertext no longer matches its FSPF hash
         (tampered, deleted, or unreadable underneath us) is evicted, so a
         later read() re-verifies against the store instead of serving a
-        plaintext the store no longer backs.
+        plaintext the store no longer backs. Paths whose store write
+        generation is unchanged since their last validation are skipped —
+        their blocks cannot have changed, so sync no longer re-reads and
+        re-hashes every cached ciphertext.
         """
         for path in list(self._cache):
             entry = self._fspf.entries.get(path)
             if entry is None or not self.store.exists(path):
-                self._cache.pop(path)
+                self._evict(path)
+                continue
+            generation = self._generation(path)
+            if generation is not None and \
+                    generation == self._validated_generation.get(path):
                 continue
             try:
                 ciphertext = self.store.read(path)
             except StorageFaultError:
-                self._cache.pop(path)
+                self._evict(path)
                 continue
             if sha256(ciphertext) != entry.ciphertext_hash:
-                self._cache.pop(path)
+                self._evict(path)
+            elif generation is not None:
+                self._validated_generation[path] = generation
         return self._persist()
 
     def on_exit(self) -> bytes:
         """Process exit: persist and push the tag (§III-D event iii)."""
         self._cache.clear()
+        self._validated_generation.clear()
         return self._persist()
+
+    def _evict(self, path: str) -> None:
+        self._cache.pop(path, None)
+        self._validated_generation.pop(path, None)
+
+    def _generation(self, path: str) -> Optional[int]:
+        """The store's write generation for ``path``, if it offers one.
+
+        Backends that cannot soundly report "unchanged" (e.g. a replicated
+        store whose Byzantine replicas may diverge without a version bump)
+        simply lack the method, and sync falls back to full revalidation.
+        """
+        generation = getattr(self.store, "generation", None)
+        return generation(path) if generation is not None else None
+
+    def _record_validation(self, path: str) -> None:
+        generation = self._generation(path)
+        if generation is not None:
+            self._validated_generation[path] = generation
 
     def _persist(self) -> bytes:
         self.store.write(_FSPF_PATH, self._fspf.seal(self._box))

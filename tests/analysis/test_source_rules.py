@@ -182,6 +182,52 @@ class TestUnauditedStateChange:
         assert lint(tmp_path) == []
 
 
+class TestWholeDocumentFlush:
+    def test_whole_document_dump_flagged(self, tmp_path):
+        write_module(tmp_path, "repro.core.bad", """\
+            import pickle
+
+            class Store:
+                def _flush(self):
+                    return pickle.dumps(self._data)
+            """)
+        findings = lint(tmp_path)
+        assert [finding.code for finding in findings] == ["SRC106"]
+        assert findings[0].line == 5
+
+    def test_legacy_helper_exempt(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            import pickle
+
+            class Store:
+                def _flush_legacy_monolithic(self):
+                    return pickle.dumps(self._data)
+            """)
+        assert lint(tmp_path) == []
+
+    def test_migration_helper_exempt(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            import pickle
+
+            class Store:
+                def _migrate_format(self):
+                    def seal():
+                        return pickle.dumps(self._data)
+                    return seal()
+            """)
+        assert lint(tmp_path) == []
+
+    def test_partial_dumps_are_fine(self, tmp_path):
+        write_module(tmp_path, "repro.core.fine", """\
+            import pickle
+
+            class Store:
+                def _flush(self):
+                    return pickle.dumps(self._data["tables"]["tags"])
+            """)
+        assert lint(tmp_path) == []
+
+
 class TestBroadExcept:
     def test_except_exception_flagged(self, tmp_path):
         write_module(tmp_path, "repro.core.bad", """\

@@ -58,8 +58,41 @@ class TestPolicyStore:
         db.commit_instant()
         assert backing.scan_for(b"plaintext-secret-value") == []
 
-    def test_tampering_detected(self):
+    def test_segment_tampering_detected(self):
         db, backing, _ = make_store()
+        db.put("t", "k", "v")
+        db.commit_instant()
+        raw = backing.read("/palaemon.db.seg/t")
+        backing.tamper("/palaemon.db.seg/t",
+                       raw[:-1] + bytes([raw[-1] ^ 1]))
+        with pytest.raises(IntegrityError):
+            make_store(store=backing)
+
+    def test_manifest_tampering_detected(self):
+        db, backing, _ = make_store()
+        db.put("t", "k", "v")
+        db.commit_instant()
+        raw = backing.read("/palaemon.db.manifest")
+        backing.tamper("/palaemon.db.manifest",
+                       raw[:-1] + bytes([raw[-1] ^ 1]))
+        with pytest.raises(IntegrityError):
+            make_store(store=backing)
+
+    def test_segment_swap_detected(self):
+        """A segment replayed from an older commit fails the manifest."""
+        db, backing, _ = make_store()
+        db.put("t", "k", "old")
+        db.commit_instant()
+        stale = backing.read("/palaemon.db.seg/t")
+        db.put("t", "k", "new")
+        db.commit_instant()
+        backing.tamper("/palaemon.db.seg/t", stale)
+        with pytest.raises(IntegrityError):
+            make_store(store=backing)
+
+    def test_legacy_monolithic_tampering_detected(self):
+        db, backing, _ = make_store()
+        db.use_legacy_monolithic_format()
         db.put("t", "k", "v")
         db.commit_instant()
         raw = backing.read("/palaemon.db")

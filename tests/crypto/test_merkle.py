@@ -99,6 +99,34 @@ class TestRoot:
             direct.set_leaf(name, data)
         assert incremental.root() == direct.root()
 
+    @given(st.lists(
+        st.tuples(st.sampled_from(["set", "remove"]),
+                  st.sampled_from([f"/f{i}" for i in range(8)]),
+                  st.binary(min_size=0, max_size=16)),
+        min_size=1, max_size=40))
+    def test_incremental_matches_from_scratch(self, operations):
+        """Cached-level updates == a from-scratch ``from_snapshot`` build.
+
+        The root is queried after every operation so each insert, update,
+        and remove exercises the incremental path recompute, never a lazy
+        full rebuild.
+        """
+        incremental = MerkleTree()
+        incremental.root()  # materialize the (empty) level cache
+        model = {}
+        for operation, name, data in operations:
+            if operation == "set" or name not in model:
+                incremental.set_leaf(name, data)
+                model[name] = data
+            else:
+                incremental.remove_leaf(name)
+                del model[name]
+            scratch = MerkleTree.from_snapshot(
+                sorted(incremental.snapshot().items()))
+            assert incremental.root() == scratch.root()
+            for leaf in model:
+                incremental.prove(leaf).verify(scratch.root())
+
 
 class TestProofs:
     def build_tree(self, n=7):

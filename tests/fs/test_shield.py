@@ -247,6 +247,81 @@ class TestAttacks:
             ProtectedFileSystem(store, key, DeterministicRandom(b"r"))
 
 
+class TestSyncGenerations:
+    def test_sync_skips_unchanged_paths(self):
+        """sync() must not re-read ciphertexts whose blocks are unchanged."""
+        fs, store, _, _ = make_fs()
+        for index in range(5):
+            fs.write(f"/f{index}", b"payload-%d" % index)
+        fs.sync()
+        reads_before = store.read_count
+        fs.sync()
+        assert store.read_count == reads_before
+
+    def test_sync_revalidates_after_out_of_band_change(self):
+        fs, store, _, _ = make_fs()
+        fs.write("/a", b"cached plaintext")
+        fs.sync()
+        store.tamper("/a", b"\x00" * 64)  # bumps /a's generation
+        fs.sync()  # hash mismatch: the cached plaintext must be evicted
+        with pytest.raises(IntegrityError):
+            fs.read("/a")
+
+    def test_sync_revalidates_after_rollback_restore(self):
+        fs, store, _, _ = make_fs()
+        fs.write("/a", b"v1")
+        fs.sync()
+        checkpoint = store.snapshot()
+        fs.write("/a", b"v2")
+        fs.sync()
+        store.restore(checkpoint)  # restore() bumps every path's generation
+        fs.sync()  # /a's blocks no longer match the live FSPF: evict
+        # The cached "v2" plaintext must not be served; the rolled-back
+        # ciphertext fails against the in-enclave FSPF hash instead.
+        with pytest.raises(IntegrityError):
+            fs.read("/a")
+
+    def test_sync_without_generations_still_revalidates(self):
+        """A store without generation() falls back to full re-reads.
+
+        Backends like the replicated object store cannot soundly report
+        "unchanged", so the shield must keep re-hashing their ciphertexts.
+        """
+
+        class NoGenerationStore:
+            def __init__(self, inner):
+                self._inner = inner
+                self.name = inner.name
+
+            def __getattr__(self, attribute):
+                if attribute == "generation":
+                    raise AttributeError(attribute)
+                return getattr(self._inner, attribute)
+
+        inner = BlockStore()
+        fs, _, _, _ = make_fs(store=NoGenerationStore(inner))
+        fs.write("/a", b"data")
+        fs.sync()
+        reads_before = inner.read_count
+        fs.sync()  # no generation signal: the ciphertext is re-read
+        assert inner.read_count == reads_before + 1
+        inner.tamper("/a", b"\x00" * 64)
+        fs.sync()
+        with pytest.raises(IntegrityError):
+            fs.read("/a")
+
+    def test_generation_bumps_on_every_mutation(self):
+        store = BlockStore()
+        assert store.generation("/a") == 0
+        store.write("/a", b"1")
+        first = store.generation("/a")
+        store.tamper("/a", b"2")
+        second = store.generation("/a")
+        store.restore({"/a": b"3"})
+        third = store.generation("/a")
+        assert 0 < first < second < third
+
+
 class TestFspf:
     def test_tag_is_merkle_root(self):
         fspf = FileSystemProtectionFile()

@@ -31,7 +31,7 @@ def referenced_paths(text):
     "README.md", "DESIGN.md", "EXPERIMENTS.md",
     "docs/PROTOCOLS.md", "docs/THREAT_MODEL.md", "docs/SIMULATION.md",
     "docs/API.md", "docs/OBSERVABILITY.md", "docs/ANALYSIS.md",
-    "docs/CHAOS.md",
+    "docs/CHAOS.md", "docs/PERFORMANCE.md",
 ])
 def test_documented_paths_exist(doc):
     text = (ROOT / doc).read_text()
@@ -46,7 +46,7 @@ def test_documented_modules_import():
     dotted = set()
     for doc in ("docs/PROTOCOLS.md", "docs/THREAT_MODEL.md", "docs/API.md",
                 "docs/OBSERVABILITY.md", "docs/ANALYSIS.md",
-                "docs/CHAOS.md", "README.md"):
+                "docs/CHAOS.md", "docs/PERFORMANCE.md", "README.md"):
         text = (ROOT / doc).read_text()
         dotted.update(re.findall(r"`(repro\.[a-z_.]+)`", text))
     for module_name in sorted(dotted):

@@ -33,6 +33,14 @@ Commands
     ``--smoke`` runs a reduced configuration, asserts the batching and
     10x-bytes invariants, and checks the export is byte-identical across
     reruns. See ``docs/PERFORMANCE.md``.
+``bench-dispatch``
+    Drive an N-client burst through the operation-dispatch pipeline's
+    admission control and export the deterministic results
+    (p50/p99 latency of admitted requests, shed counts by reason) to
+    ``results/dispatch_load.json``. ``--smoke`` runs a reduced burst,
+    asserts the shedding invariants (typed ``overloaded`` code, admitted
+    requests succeed), and checks the export is byte-identical across
+    reruns. See ``docs/API.md`` and ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -76,6 +84,8 @@ EXPERIMENTS = {
                         "Replicated storage backend durability"),
     "tags": ("test_tag_throughput.py",
              "Tag-update write-path throughput (segments + group commit)"),
+    "dispatch": ("test_dispatch_load.py",
+                 "Dispatch-pipeline admission control under burst load"),
 }
 
 
@@ -211,6 +221,55 @@ def cmd_bench_tags(smoke: bool, out: str) -> int:
     return 0
 
 
+def cmd_bench_dispatch(smoke: bool, out: str) -> int:
+    """Run the dispatch admission-control burst; export deterministic JSON."""
+    import json
+    import tempfile
+
+    from repro.benchlib import dispatchbench
+
+    if smoke:
+        config = dict(clients=16, requests_per_client=2, policies=60,
+                      max_concurrency=3, max_queue=4, queue_deadline=0.5)
+    else:
+        config = dict(dispatchbench.DEFAULT_CONFIG)
+    document = dispatchbench.run_benchmark(**config)
+    try:
+        dispatchbench.check_invariants(document)
+    except AssertionError as exc:
+        print(f"bench-dispatch: invariant violated: {exc}", file=sys.stderr)
+        return 1
+    if smoke:
+        # Determinism: a rerun of the same configuration must export
+        # byte-identical JSON (only simulated time is measured).
+        rerun = dispatchbench.run_benchmark(**config)
+        with tempfile.TemporaryDirectory() as scratch:
+            first = Path(scratch) / "first.json"
+            second = Path(scratch) / "second.json"
+            dispatchbench.export_results(str(first), document)
+            dispatchbench.export_results(str(second), rerun)
+            if first.read_bytes() != second.read_bytes():
+                print("bench-dispatch --smoke: rerun export differs",
+                      file=sys.stderr)
+                return 1
+    else:
+        path = Path(out)
+        if not path.is_absolute():
+            path = _repo_root() / path
+        dispatchbench.export_results(str(path), document)
+        print(f"wrote {path}")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    admitted = document["admitted"]
+    shed = document["shed"]
+    print(f"burst: {document['requests_total']} requests -> "
+          f"{admitted['count']} admitted (p50 "
+          f"{admitted['latency']['p50'] * 1e3:.1f}ms, p99 "
+          f"{admitted['latency']['p99'] * 1e3:.1f}ms), "
+          f"{shed['count']} shed with code "
+          f"{'/'.join(shed['codes'])}")
+    return 0
+
+
 def cmd_examples() -> int:
     examples_dir = _repo_root() / "examples"
     for script in sorted(examples_dir.glob("*.py")):
@@ -256,6 +315,16 @@ def main(argv=None) -> int:
                                  "invariants and export determinism")
     bench_tags.add_argument("--out", default="results/tag_throughput.json",
                             help="export path (full runs only)")
+    bench_dispatch = subparsers.add_parser(
+        "bench-dispatch",
+        help="dispatch-pipeline admission-control burst benchmark")
+    bench_dispatch.add_argument(
+        "--smoke", action="store_true",
+        help="reduced burst: assert shedding invariants and export "
+             "determinism")
+    bench_dispatch.add_argument(
+        "--out", default="results/dispatch_load.json",
+        help="export path (full runs only)")
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
@@ -274,6 +343,8 @@ def main(argv=None) -> int:
         return cmd_chaos(args.seed, args.check, args.no_retry)
     if args.command == "bench-tags":
         return cmd_bench_tags(args.smoke, args.out)
+    if args.command == "bench-dispatch":
+        return cmd_bench_dispatch(args.smoke, args.out)
     return cmd_examples()
 
 

@@ -111,16 +111,17 @@ def check_bare_except(source: SourceFile) -> Iterator[Finding]:
                      "repro.errors is there to be caught precisely")
 
 
-#: The one module allowed to catch ``Exception``: the REST boundary turns
-#: arbitrary handler failures into error replies instead of killing the
-#: server loop. Everywhere else a broad catch hides the difference
-#: between a transient fault (retryable) and a security verdict (never
-#: retryable) — the exact conflation that let ``RollbackGuard`` mint a
-#: fresh counter during a counter outage.
-_BROAD_CATCH_BOUNDARY = "repro.core.rest"
+#: The one module allowed to catch ``Exception``: the dispatch boundary
+#: turns arbitrary handler failures into error replies instead of killing
+#: a serve loop (it is where every transport's requests converge).
+#: Everywhere else a broad catch hides the difference between a transient
+#: fault (retryable) and a security verdict (never retryable) — the exact
+#: conflation that let ``RollbackGuard`` mint a fresh counter during a
+#: counter outage.
+_BROAD_CATCH_BOUNDARY = "repro.core.dispatch"
 
 
-@rule("SRC105", "broad 'except Exception' outside the REST boundary",
+@rule("SRC105", "broad 'except Exception' outside the dispatch boundary",
       scope="source", severity=Severity.ERROR,
       hint="catch the concrete repro.errors type the caller can act on")
 def check_broad_except(source: SourceFile) -> Iterator[Finding]:
@@ -133,11 +134,11 @@ def check_broad_except(source: SourceFile) -> Iterator[Finding]:
             yield Finding(
                 code="SRC105", severity=Severity.ERROR,
                 subject=source.display, line=node.lineno,
-                message=("'except Exception' outside the REST boundary "
+                message=("'except Exception' outside the dispatch boundary "
                          "conflates transient faults with security "
                          "verdicts (rollback, attestation, access "
                          "denials) and masks real failures"),
-                hint="name the repro.errors class; only repro.core.rest "
+                hint="name the repro.errors class; only repro.core.dispatch "
                      "may catch Exception (to map failures to replies)")
 
 
@@ -150,11 +151,17 @@ def _catches_exception(handler_type) -> bool:
     return False
 
 
+#: Modules whose literal ``code`` values are wire-visible API surface:
+#: the dispatch pipeline (which builds every error reply) and the REST
+#: codec that carries them.
+_ERROR_CODE_MODULES = frozenset(("repro.core.rest", "repro.core.dispatch"))
+
+
 @rule("SRC103", "non-snake_case REST error code", scope="source",
       severity=Severity.ERROR,
       hint="REST error codes are API surface: ^[a-z][a-z0-9_]*$")
 def check_rest_error_codes(source: SourceFile) -> Iterator[Finding]:
-    if source.module != "repro.core.rest":
+    if source.module not in _ERROR_CODE_MODULES:
         return
     for node in ast.walk(source.tree):
         if isinstance(node, ast.Call):
@@ -274,6 +281,48 @@ def _is_whole_document_dump(call: ast.Call) -> bool:
     return any(isinstance(arg, ast.Attribute) and arg.attr == "_data"
                and isinstance(arg.value, ast.Name) and arg.value.id == "self"
                for arg in call.args)
+
+
+#: The transport codecs: every request they carry must go through the
+#: dispatch pipeline, never straight into ``PalaemonService`` methods —
+#: a direct call skips admission control, auth, and the uniform error
+#: mapping the CIF guarantees depend on.
+_TRANSPORT_MODULES = frozenset((
+    "repro.core.rest", "repro.core.federation", "repro.core.failover",
+    "repro.core.client"))
+
+#: ``PalaemonService`` operation methods (the registry's handlers own
+#: these calls; transports do not).
+_SERVICE_OPERATION_METHODS = frozenset((
+    "create_policy", "read_policy", "update_policy", "delete_policy",
+    "list_policies", "attest_application", "get_tag_instant",
+    "update_tag_instant", "get_tag", "update_tag", "get_volume_tag",
+    "update_volume_tag"))
+
+
+@rule("SRC107", "direct service call from a transport module",
+      scope="source", severity=Severity.ERROR,
+      hint="route the request through the dispatcher "
+           "(service.dispatcher.handle/dispatch/invoke)")
+def check_transport_bypasses_dispatcher(source: SourceFile,
+                                        ) -> Iterator[Finding]:
+    if source.module not in _TRANSPORT_MODULES:
+        return
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _SERVICE_OPERATION_METHODS):
+            yield Finding(
+                code="SRC107", severity=Severity.ERROR,
+                subject=source.display, line=node.lineno,
+                message=(f"{source.module} calls PalaemonService."
+                         f"{func.attr}() directly, bypassing the dispatch "
+                         f"pipeline (admission control, auth, uniform "
+                         f"error mapping)"),
+                hint="transports are codecs: build a request dict and "
+                     "hand it to the service's Dispatcher")
 
 
 def _method_facts(method: ast.AST, method_names: Set[str]):

@@ -15,7 +15,7 @@ Clients may combine both (§V-A).
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Any, FrozenSet
 
 from repro.core.service import PalaemonService
 from repro.crypto.certificates import Certificate, self_signed_certificate
@@ -143,21 +143,28 @@ class PalaemonClient:
                 f"client {self.name!r} has not attested instance "
                 f"{instance.name!r}")
 
-    # -- policy operations (thin, attestation-guarded wrappers) ---------------
+    # -- policy operations (attestation-guarded, via the dispatcher) ----------
+
+    def invoke(self, instance: PalaemonService, route: str, **fields) -> Any:
+        """Send one operation through the instance's dispatch pipeline.
+
+        The in-process transport: the same registry, middleware, and
+        admission control as REST and federation, minus the network.
+        Raises the typed error (not a structured reply) on refusal.
+        """
+        self.require_attested(instance)
+        return instance.dispatcher.invoke(route, certificate=self.certificate,
+                                          **fields)
 
     def create_policy(self, instance: PalaemonService, policy) -> None:
-        self.require_attested(instance)
-        instance.create_policy(policy, self.certificate)
+        self.invoke(instance, "policy.create", policy=policy)
 
     def read_policy(self, instance: PalaemonService, policy_name: str):
-        self.require_attested(instance)
-        return instance.read_policy(policy_name, self.certificate)
+        return self.invoke(instance, "policy.read", name=policy_name)
 
     def update_policy(self, instance: PalaemonService, policy) -> None:
-        self.require_attested(instance)
-        instance.update_policy(policy, self.certificate)
+        self.invoke(instance, "policy.update", policy=policy)
 
     def delete_policy(self, instance: PalaemonService,
                       policy_name: str) -> None:
-        self.require_attested(instance)
-        instance.delete_policy(policy_name, self.certificate)
+        self.invoke(instance, "policy.delete", name=policy_name)

@@ -28,6 +28,7 @@ from typing import Any, Generator, List
 
 from typing import Optional
 
+from repro.core.dispatch import AUTH_PEER, DEFAULT_REGISTRY, DispatchContext
 from repro.core.service import PalaemonService
 from repro.crypto.primitives import DeterministicRandom
 from repro.errors import PolicyError, RetryExhaustedError, RollbackDetectedError
@@ -186,11 +187,15 @@ class FailoverCoordinator:
         return ack
 
     def _backup_serve_loop(self) -> Generator[Event, Any, None]:
-        """Apply replication batches in order; reply with cumulative acks.
+        """Route replication batches through the backup's dispatch pipeline.
 
-        Duplicated or re-sent updates are idempotent: only the next
-        expected sequence number is applied, everything else is skipped
-        and re-acknowledged.
+        ``{"kind": "repl"}`` messages become ``failover.replicate``
+        requests; the registered handler applies updates in order
+        (idempotently — only the next expected sequence number is
+        applied, everything else is skipped and re-acknowledged) and the
+        cumulative ack travels back. Malformed payloads and refused
+        requests produce no ack, so the primary's retry/backoff layer
+        treats them exactly like a lost message.
         """
         from repro.sim.resources import StoreClosed
 
@@ -200,16 +205,20 @@ class FailoverCoordinator:
             except StoreClosed:
                 return
             payload = message.payload
-            if not isinstance(payload, dict) or payload.get("kind") != "repl":
+            if not isinstance(payload, dict):
                 continue
-            for update in payload["updates"]:
-                if update.sequence == self._replica.applied_sequence + 1:
-                    self._replica.updates.append(update)
-                    self._replica.applied_sequence = update.sequence
-            if message.reply_to is not None:
-                self._backup_ep.send(
-                    message.reply_to,
-                    {"ack": self._replica.applied_sequence}, size_bytes=64)
+            kind = payload.get("kind")
+            route = ("failover.replicate" if kind == "repl"
+                     else f"failover.{kind}")
+            route_request = {key: value for key, value in payload.items()
+                             if key != "kind"}
+            route_request["route"] = route
+            outcome = self.backup.dispatcher.handle(
+                route_request, transport="failover",
+                peer=self.primary.name, target=self)
+            if message.reply_to is not None and "ok" in outcome:
+                self._backup_ep.send(message.reply_to, outcome["ok"],
+                                     size_bytes=64)
 
     # -- fail-over -----------------------------------------------------------
 
@@ -260,3 +269,16 @@ class FailoverCoordinator:
     def replication_lag(self) -> int:
         """Updates the primary has that the backup has not acknowledged."""
         return self._sequence - self._replica.applied_sequence
+
+
+@DEFAULT_REGISTRY.operation(
+    "failover.replicate", fields=("updates",), auth=AUTH_PEER,
+    serving_required=False, transports=("failover",),
+    summary="apply a replication batch in order; reply a cumulative ack")
+def _failover_replicate(ctx: DispatchContext) -> Any:
+    replica = ctx.target._replica
+    for update in ctx.request["updates"]:
+        if update.sequence == replica.applied_sequence + 1:
+            replica.updates.append(update)
+            replica.applied_sequence = update.sequence
+    return {"ack": replica.applied_sequence}

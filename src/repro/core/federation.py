@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 import repro.errors as errors
+from repro.core.dispatch import AUTH_PEER, DEFAULT_REGISTRY, DispatchContext
 from repro.core.service import PalaemonService
 from repro.crypto.primitives import DeterministicRandom, hkdf, sha256
 from repro.crypto.signatures import PublicKey
@@ -242,13 +243,16 @@ class FederatedInstance:
             return reply["secrets"]
 
     def _serve_loop(self) -> Generator[Event, Any, None]:
-        """Answer sealed fetch requests arriving on the serve endpoint.
+        """Answer sealed requests arriving on the serve endpoint.
 
         A Byzantine or faulty sender cannot crash the loop: messages that
         are malformed, from unknown peers, or fail AEAD verification are
-        dropped like a TLS alert. Policy refusals travel back as typed
-        error replies (``error_kind`` names the exception class) so the
-        client re-raises the *same* verdict it would get in-process.
+        dropped like a TLS alert. Well-formed requests go through the
+        service's dispatch pipeline (``federation.<kind>`` routes), so
+        refusals travel back as typed error replies (``error_kind`` names
+        the exception class) and the client re-raises the *same* verdict
+        it would get in-process — including ``unknown_route`` for kinds
+        the registry does not know.
         """
         from repro.errors import CryptoError
         from repro.sim.resources import StoreClosed
@@ -268,22 +272,29 @@ class FederatedInstance:
                 request = pickle.loads(link.box.open(payload["data"]))
             except CryptoError:
                 continue
-            if not isinstance(request, dict) or request.get("kind") != "fetch":
+            if not isinstance(request, dict):
                 continue
+            route_request = {key: value for key, value in request.items()
+                             if key not in ("kind", "rid")}
+            route_request["route"] = f"federation.{request.get('kind')}"
+            outcome = self.service.dispatcher.handle(
+                route_request, transport="federation",
+                peer=payload.get("from"), target=self)
             reply: Dict[str, Any] = {"rid": request.get("rid")}
-            try:
-                reply["secrets"] = self._serve_secret_request(
-                    request["policy"], request["requesting_policy"],
-                    request["secrets"])
-            except ReproError as exc:
-                reply["error_kind"] = type(exc).__name__
-                reply["message"] = str(exc)
+            if "error" in outcome:
+                reply["error_kind"] = outcome["kind"]
+                reply["message"] = outcome["error"]
+                reply["code"] = outcome["code"]
+            else:
+                reply["secrets"] = outcome["ok"]
             if message.reply_to is not None:
+                sealed = link.box.seal(pickle.dumps(reply))
+                # Size the reply by its sealed payload, so the latency
+                # model reflects the secrets actually shipped.
                 self.endpoint.send(
                     message.reply_to,
-                    {"from": self.name,
-                     "data": link.box.seal(pickle.dumps(reply))},
-                    size_bytes=512)
+                    {"from": self.name, "data": sealed},
+                    size_bytes=len(sealed))
 
     def _serve_secret_request(self, policy_name: str, requesting_policy: str,
                               secret_names: List[str]) -> Dict[str, bytes]:
@@ -308,6 +319,17 @@ class FederatedInstance:
             requesting_policy=requesting_policy, secrets=len(result),
             result="served")
         return result
+
+
+@DEFAULT_REGISTRY.operation(
+    "federation.fetch", fields=("policy", "requesting_policy", "secrets"),
+    auth=AUTH_PEER, serving_required=False, transports=("federation",),
+    audit=("federation.serve",),
+    summary="serve a peer's exported-secret fetch (export-list enforced)")
+def _federation_fetch(ctx: DispatchContext) -> Dict[str, bytes]:
+    return ctx.target._serve_secret_request(
+        ctx.request["policy"], ctx.request["requesting_policy"],
+        ctx.request["secrets"])
 
 
 class Federation:

@@ -11,23 +11,27 @@ Request shape (a dict, playing the role of a JSON body):
 
     {"route": "policy.create", ...route-specific fields...}
 
-Routes: ``policy.create`` / ``policy.read`` / ``policy.update`` /
-``policy.delete`` / ``policy.list``, ``app.attest``, ``tag.get`` /
-``tag.update``, ``instance.describe``.
+The route table lives in the :class:`~repro.core.dispatch.
+OperationRegistry` (rendered into ``docs/API.md``); this module is a thin
+codec — it extracts the client certificate from the request body or the
+TLS session and hands the request to the service's
+:class:`~repro.core.dispatch.Dispatcher`, which runs the shared
+middleware pipeline (serving check, auth, admission control, telemetry,
+uniform error mapping) for every transport.
 
-Failures never raise through the TLS session: every handler error becomes
-a structured reply ``{"error": message, "kind": ExceptionClass, "code":
+Failures never raise through the TLS session: every error becomes a
+structured reply ``{"error": message, "kind": ExceptionClass, "code":
 snake_case_code}`` — including programming errors inside a handler, which
 map to ``code="internal"`` — and is counted in the instance's
-``palaemon_rest_errors_total`` metric by route and code.
+``palaemon_dispatch_errors_total`` metric by route, transport, and code.
 """
 
 from __future__ import annotations
 
-import re
 from typing import Any, Dict, Generator
 
 from repro.core.client import PalaemonClient
+from repro.core.dispatch import error_code  # noqa: F401 - public re-export
 from repro.core.service import PalaemonService
 from repro.crypto.primitives import DeterministicRandom
 from repro.errors import ReproError
@@ -56,97 +60,16 @@ class PalaemonRestServer:
     def stop(self) -> None:
         self._server.stop()
 
-    # -- dispatch ----------------------------------------------------------
+    # -- codec -------------------------------------------------------------
 
-    def _handle(self, request: Dict[str, Any], session: TLSSession) -> Any:
-        telemetry = self.service.telemetry
-        route = request.get("route", "")
-        handler = getattr(self, "_route_" + route.replace(".", "_"), None)
-        if handler is None:
-            telemetry.inc("palaemon_rest_requests_total", route="unknown")
-            telemetry.inc("palaemon_rest_errors_total", route="unknown",
-                          code="unknown_route")
-            return {"error": f"unknown route {route!r}",
-                    "kind": "ReproError", "code": "unknown_route"}
-        telemetry.inc("palaemon_rest_requests_total", route=route)
-        started = self.service.simulator.now
-        with telemetry.span("rest." + route):
-            try:
-                reply = {"ok": handler(request, session)}
-            except ReproError as exc:
-                code = error_code(exc)
-                telemetry.inc("palaemon_rest_errors_total", route=route,
-                              code=code)
-                reply = {"error": str(exc), "kind": type(exc).__name__,
-                         "code": code}
-            except Exception as exc:  # noqa: BLE001 - never raise through TLS
-                telemetry.inc("palaemon_rest_errors_total", route=route,
-                              code="internal")
-                reply = {"error": f"{type(exc).__name__}: {exc}",
-                         "kind": "InternalError", "code": "internal"}
-        telemetry.observe("palaemon_rest_route_seconds",
-                          self.service.simulator.now - started, route=route)
-        return reply
-
-    @staticmethod
-    def _client_certificate(request: Dict[str, Any], session: TLSSession):
-        certificate = (request.get("client_certificate")
-                       or session.client_certificate)
-        if certificate is None:
-            raise ReproError("request carries no client certificate")
-        return certificate
-
-    def _route_policy_create(self, request, session):
-        self.service.create_policy(
-            request["policy"], self._client_certificate(request, session))
-        return {"created": request["policy"].name}
-
-    def _route_policy_read(self, request, session):
-        return self.service.read_policy(
-            request["name"], self._client_certificate(request, session))
-
-    def _route_policy_update(self, request, session):
-        self.service.update_policy(
-            request["policy"], self._client_certificate(request, session))
-        return {"updated": request["policy"].name}
-
-    def _route_policy_delete(self, request, session):
-        self.service.delete_policy(
-            request["name"], self._client_certificate(request, session))
-        return {"deleted": request["name"]}
-
-    def _route_policy_list(self, _request, _session):
-        return self.service.list_policies()
-
-    def _route_app_attest(self, request, _session):
-        return self.service.attest_application(request["evidence"])
-
-    def _route_tag_get(self, request, _session):
-        return self.service.get_tag_instant(request["policy"],
-                                            request["service"])
-
-    def _route_tag_update(self, request, _session):
-        self.service.update_tag_instant(
-            request["policy"], request["service"], request["tag"],
-            clean_exit=request.get("clean_exit", False))
-        return {"stored": True}
-
-    def _route_volume_tag_get(self, request, _session):
-        return self.service.get_volume_tag(request["policy"],
-                                           request["volume"])
-
-    def _route_volume_tag_update(self, request, _session):
-        self.service.update_volume_tag(request["policy"], request["volume"],
-                                       request["tag"])
-        return {"stored": True}
-
-    def _route_instance_describe(self, _request, _session):
-        return {
-            "name": self.service.name,
-            "mrenclave": self.service.mrenclave,
-            "public_key": self.service.public_key,
-            "certificate": self.service.certificate,
-        }
+    def _handle(self, request: Any, session: TLSSession) -> Any:
+        certificate = None
+        if isinstance(request, dict):
+            certificate = request.get("client_certificate")
+        if certificate is None and session is not None:
+            certificate = session.client_certificate
+        return self.service.dispatcher.handle(
+            request, transport="rest", certificate=certificate)
 
 
 class PalaemonRestClient:
@@ -218,20 +141,6 @@ class PalaemonRestClient:
             operation=f"rest.{route}", retry_on=retry_on,
             telemetry=self.telemetry), name=f"rest-retry-{route}")
         return result
-
-
-def error_code(exc: BaseException) -> str:
-    """Map an exception class to a stable snake_case error code.
-
-    ``PolicyNotFoundError`` -> ``policy_not_found``; anything that is not a
-    :class:`ReproError` is ``internal``.
-    """
-    if not isinstance(exc, ReproError):
-        return "internal"
-    name = type(exc).__name__
-    if name.endswith("Error"):
-        name = name[:-len("Error")]
-    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
 
 
 class RemoteError(ReproError):

@@ -22,6 +22,7 @@ from repro.core.attestation import (
 )
 from repro.core.board import AccessRequest, BoardEvaluator
 from repro.core.ca import PalaemonCA
+from repro.core.dispatch import Dispatcher
 from repro.core.policy import SecurityPolicy, ServiceSpec
 from repro.core.rollback import RollbackGuard
 from repro.core.secrets import SecretValue, materialize_all
@@ -145,6 +146,11 @@ class PalaemonService:
                                             f"{name}:{self.COUNTER_ID}",
                                             telemetry=self.telemetry)
         self.rollback_guard.ensure_counter()
+
+        #: Every transport (REST, federation, failover, in-process client)
+        #: reaches this instance through the same middleware pipeline
+        #: (docs/API.md, repro.core.dispatch).
+        self.dispatcher = Dispatcher(self)
 
     # -- identity & lifecycle ------------------------------------------------
 

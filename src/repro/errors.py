@@ -140,6 +140,36 @@ class ConcurrentInstanceError(RollbackDetectedError):
     """A second PALAEMON instance with the same identity is already running."""
 
 
+class DispatchError(ReproError):
+    """Base class for request-dispatch failures (``repro.core.dispatch``)."""
+
+
+class UnknownRouteError(DispatchError):
+    """The request named an operation the registry does not know."""
+
+
+class BadRequestError(DispatchError):
+    """The request is structurally invalid (not a mapping, missing fields)."""
+
+
+class CertificateRequiredError(DispatchError):
+    """The operation requires a client certificate and none was presented."""
+
+
+class PeerRequiredError(DispatchError):
+    """The operation is only reachable over an attested peer link."""
+
+
+class ServiceOverloadedError(DispatchError):
+    """Admission control shed the request (queue full or deadline passed).
+
+    Carries the stable wire code ``overloaded`` (shorter than the
+    auto-derived ``service_overloaded``) so clients can match on it.
+    """
+
+    code = "overloaded"
+
+
 class PolicyError(ReproError):
     """Base class for security-policy errors."""
 

@@ -252,8 +252,8 @@ class TestBroadExcept:
         findings = lint(tmp_path)
         assert [finding.code for finding in findings] == ["SRC105"]
 
-    def test_rest_boundary_is_exempt(self, tmp_path):
-        write_module(tmp_path, "repro.core.rest", """\
+    def test_dispatch_boundary_is_exempt(self, tmp_path):
+        write_module(tmp_path, "repro.core.dispatch", """\
             def handle():
                 try:
                     return 1
@@ -261,6 +261,19 @@ class TestBroadExcept:
                     return None
             """)
         assert lint(tmp_path) == []
+
+    def test_rest_is_no_longer_exempt(self, tmp_path):
+        # The broad-catch boundary moved into the dispatch pipeline; the
+        # REST codec itself must catch precisely like everyone else.
+        write_module(tmp_path, "repro.core.rest", """\
+            def handle():
+                try:
+                    return 1
+                except Exception:
+                    return None
+            """)
+        findings = lint(tmp_path)
+        assert [f.code for f in findings] == ["SRC105"]
 
     def test_typed_catches_are_fine(self, tmp_path):
         write_module(tmp_path, "repro.core.fine", """\

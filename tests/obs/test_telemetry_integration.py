@@ -110,21 +110,41 @@ class TestRestStructuredErrors:
         assert error_code(ReproError("x")) == "repro"
         assert error_code(KeyError("x")) == "internal"
 
+    def test_missing_fields_become_bad_request(self):
+        deployment = Deployment()
+        from repro.core.rest import PalaemonRestServer
+
+        server = PalaemonRestServer.__new__(PalaemonRestServer)
+        server.service = deployment.palaemon
+        # tag.update without its required fields: the pipeline's field
+        # check refuses before the handler ever runs.
+        reply = server._handle({"route": "tag.update"}, session=None)
+        assert reply["code"] == "bad_request"
+        assert reply["kind"] == "BadRequestError"
+        for field in ("policy", "service", "tag"):
+            assert field in reply["error"]
+        metrics = deployment.palaemon.telemetry.metrics
+        assert metrics.counter("palaemon_dispatch_errors_total",
+                               route="tag.update", transport="rest",
+                               code="bad_request").value == 1
+
     def test_handler_crash_becomes_structured_internal_error(self):
         deployment = Deployment()
         from repro.core.rest import PalaemonRestServer
 
         server = PalaemonRestServer.__new__(PalaemonRestServer)
         server.service = deployment.palaemon
-        # tag.update without its required fields: a KeyError inside the
-        # handler must surface as a structured reply, not an exception.
-        reply = server._handle({"route": "tag.update"}, session=None)
+        # An unhashable policy key crashes inside the handler (TypeError);
+        # it must surface as a structured reply, not an exception.
+        reply = server._handle(
+            {"route": "tag.update", "policy": {}, "service": "s",
+             "tag": b"t"}, session=None)
         assert reply["code"] == "internal"
         assert reply["kind"] == "InternalError"
-        assert "KeyError" in reply["error"]
+        assert "TypeError" in reply["error"]
         metrics = deployment.palaemon.telemetry.metrics
-        assert metrics.counter("palaemon_rest_errors_total",
-                               route="tag.update",
+        assert metrics.counter("palaemon_dispatch_errors_total",
+                               route="tag.update", transport="rest",
                                code="internal").value == 1
 
     def test_unknown_route_structured(self):
@@ -164,15 +184,16 @@ class TestObserveWorkload:
         assert "audit chain: valid" in output
         telemetry = service.telemetry
         # The acceptance bar: at least 8 distinct metric families covering
-        # attestations, votes, tags, counters, and REST routes.
+        # attestations, votes, tags, counters, and dispatched routes.
         names = telemetry.metrics.names()
         assert len(names) >= 8
         for required in ("palaemon_attestations_total",
                          "palaemon_board_votes_total",
                          "palaemon_tag_updates_total",
                          "palaemon_counter_increments_total",
-                         "palaemon_rest_route_seconds",
-                         "palaemon_rest_errors_total"):
+                         "palaemon_dispatch_route_seconds",
+                         "palaemon_dispatch_errors_total",
+                         "palaemon_admission_admitted_total"):
             assert required in names
         assert telemetry.verify_audit_chain() > 0
 

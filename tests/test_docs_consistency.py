@@ -87,3 +87,23 @@ def test_readme_example_table_matches_directory():
     text = (ROOT / "README.md").read_text()
     for example in sorted((ROOT / "examples").glob("*.py")):
         assert example.name in text, f"README misses {example.name}"
+
+
+def test_api_md_operation_table_matches_registry():
+    """The docs/API.md route table is generated from the registry; any
+    drift (a new operation, a changed field list, a reworded summary)
+    must fail here until the table is regenerated."""
+    from repro.core.dispatch import (
+        TABLE_BEGIN,
+        TABLE_END,
+        render_operation_table,
+    )
+
+    text = (ROOT / "docs/API.md").read_text()
+    assert TABLE_BEGIN in text and TABLE_END in text, (
+        "docs/API.md lost its generated operation-table markers")
+    begin = text.index(TABLE_BEGIN) + len(TABLE_BEGIN)
+    documented = text[begin:text.index(TABLE_END)].strip()
+    assert documented == render_operation_table(), (
+        "docs/API.md operation table is out of date — regenerate it with "
+        "repro.core.dispatch.render_operation_table()")

@@ -1,4 +1,6 @@
-"""Concurrency tests for the TLS server: many clients, one server."""
+"""Concurrency tests for the TLS server: many clients, one server —
+including hostile clients sending malformed requests at a real PALAEMON
+REST front-end, which must answer with typed codes and keep serving."""
 
 import pytest
 
@@ -110,3 +112,91 @@ class TestConcurrentClients:
         assert sim.run_process(main()) == "ok"
         server.stop()
         assert server.requests_served == 1
+
+
+class TestMalformedRequestsOverTls:
+    """A hostile client cannot crash the REST serve loop: every malformed
+    request comes back as a structured reply with the dispatch layer's
+    uniform codes, and well-formed requests keep succeeding after."""
+
+    def make_rest_stack(self):
+        from repro.core.rest import PalaemonRestClient, PalaemonRestServer
+
+        from tests.core.conftest import Deployment
+
+        deployment = Deployment()
+        network = Network(deployment.simulator,
+                          deployment.rng.fork(b"rest-net"))
+        server = PalaemonRestServer(deployment.palaemon, network)
+        client = deployment.simulator.run_process(PalaemonRestClient.connect(
+            network, deployment.client, server, Site.SAME_DC,
+            deployment.rng.fork(b"rest-conn"),
+            trusted_root=deployment.ca.root_public_key))
+        return deployment, server, client
+
+    def raw_request(self, deployment, client, payload):
+        """Send ``payload`` verbatim (no route envelope) over the session."""
+        return deployment.simulator.run_process(
+            client.connection.request(payload))
+
+    def test_malformed_payloads_get_typed_replies_not_crashes(self):
+        deployment, server, client = self.make_rest_stack()
+        for junk in (b"\x00\x01\x02", ["not", "a", "mapping"], 17, None,
+                     {"no_route_key": True}, {"route": 42},
+                     {"route": b"tag.get"}):
+            reply = self.raw_request(deployment, client, junk)
+            assert reply["code"] in ("bad_request", "unknown_route")
+            assert "error" in reply and "kind" in reply
+        # The serve loop survived all of it: a real call still works.
+        described = deployment.simulator.run_process(
+            client.call("instance.describe"))
+        assert described["name"] == deployment.palaemon.name
+        server.stop()
+
+    def test_missing_fields_and_unknown_routes_over_the_wire(self):
+        from repro.core.rest import RemoteError
+
+        deployment, server, client = self.make_rest_stack()
+
+        def call(route, **fields):
+            def proc():
+                result = yield from client.call(route, **fields)
+                return result
+
+            return deployment.simulator.run_process(proc())
+
+        with pytest.raises(RemoteError) as missing:
+            call("tag.update", policy="p")  # service + tag absent
+        assert missing.value.code == "bad_request"
+        assert "service" in missing.value.message
+        assert "tag" in missing.value.message
+        with pytest.raises(RemoteError) as unknown:
+            call("tag.frobnicate")
+        assert unknown.value.code == "unknown_route"
+        server.stop()
+
+    def test_hostile_and_honest_clients_interleave(self):
+        """Garbage from one session never poisons another's replies."""
+        deployment, server, client = self.make_rest_stack()
+        simulator = deployment.simulator
+        replies = []
+
+        def hostile():
+            for junk in (b"junk", {"route": "nope"}, ["x"]):
+                reply = yield simulator.process(
+                    client.connection.request(junk))
+                replies.append(reply["code"])
+
+        def honest():
+            for _ in range(3):
+                described = yield from client.call("instance.describe")
+                assert described["name"] == deployment.palaemon.name
+
+        def main():
+            yield simulator.all_of([simulator.process(hostile()),
+                                    simulator.process(honest())])
+
+        simulator.run_process(main())
+        assert sorted(replies) == ["bad_request", "bad_request",
+                                   "unknown_route"]
+        server.stop()
